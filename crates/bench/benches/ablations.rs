@@ -1,0 +1,217 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. Awari combining threshold — the paper's "too much message combining
+//!    results in load imbalance" tradeoff.
+//! 2. Gateway per-message CPU cost — the mechanism that makes combining
+//!    profitable at all.
+//! 3. Barnes-Hut: message combining vs barrier relaxation, isolated.
+//! 4. ASP: fixed sequencer vs migrating sequencer vs no sequencer (the
+//!    paper's "drop the sequencer altogether" suggestion).
+//! 5. Wide-area latency *variation* (the paper's further-work question).
+
+use numagap_apps::asp::{asp_rank, AspConfig};
+use numagap_apps::awari::{awari_rank, AwariConfig};
+use numagap_apps::barnes::{barnes_rank, BarnesConfig};
+use numagap_apps::water::{water_rank, WaterConfig};
+use numagap_apps::Variant;
+use numagap_bench::{write_csv, CLUSTERS, PROCS_PER_CLUSTER};
+use numagap_net::das_spec;
+use numagap_rt::Machine;
+use numagap_sim::SimDuration;
+
+fn main() {
+    awari_combining_threshold();
+    gateway_overhead_sweep();
+    barnes_optimization_split();
+    asp_sequencer_modes();
+    latency_jitter();
+    real_awari_build();
+}
+
+fn real_awari_build() {
+    use numagap_apps::awari_real::{awari_real_rank, AwariRealConfig};
+    println!("== Ablation 6: real Awari database build (5 stones, 4x8) ==\n");
+    println!("{:>10} {:>14} {:>12}", "latency", "runtime (s)", "WAN msgs");
+    let mut rows = Vec::new();
+    for lat in [0.5, 3.3, 10.0, 30.0] {
+        let cfg = AwariRealConfig {
+            max_stones: 5,
+            ..AwariRealConfig::small()
+        };
+        let machine = Machine::new(das_spec(CLUSTERS, PROCS_PER_CLUSTER, lat, 1.0));
+        let report = machine
+            .run(move |ctx| awari_real_rank(ctx, &cfg))
+            .expect("awari build");
+        println!(
+            "{:>8}ms {:>14.3} {:>12}",
+            lat,
+            report.elapsed.as_secs_f64(),
+            report.net_stats.inter_msgs
+        );
+        rows.push(format!(
+            "{lat},{:.6},{}",
+            report.elapsed.as_secs_f64(),
+            report.net_stats.inter_msgs
+        ));
+    }
+    println!("  (the within-level fixpoint needs a global round per propagation");
+    println!("   step, so real retrograde analysis is brutally latency-bound —");
+    println!("   the structural reason the paper's Awari never tolerates a gap)");
+    write_csv("ablation_real_awari.csv", "latency_ms,elapsed_s,inter_msgs", &rows);
+}
+
+fn awari_combining_threshold() {
+    println!("== Ablation 1: Awari combining threshold (optimized, 3.3 ms / 1 MB/s) ==\n");
+    println!("{:>10} {:>12} {:>14}", "threshold", "runtime (s)", "WAN msgs");
+    let mut rows = Vec::new();
+    for combine in [1usize, 4, 16, 64, 256] {
+        let cfg = AwariConfig {
+            combine,
+            ..AwariConfig::medium()
+        };
+        let machine = Machine::new(das_spec(CLUSTERS, PROCS_PER_CLUSTER, 3.3, 1.0));
+        let report = machine
+            .run(move |ctx| awari_rank(ctx, &cfg, Variant::Optimized))
+            .expect("awari run");
+        println!(
+            "{combine:>10} {:>12.3} {:>14}",
+            report.elapsed.as_secs_f64(),
+            report.net_stats.inter_msgs
+        );
+        rows.push(format!(
+            "{combine},{:.6},{}",
+            report.elapsed.as_secs_f64(),
+            report.net_stats.inter_msgs
+        ));
+    }
+    println!("  (small thresholds drown in per-message cost; past the sweet spot");
+    println!("   further combining stops helping — what remains is the stage-end");
+    println!("   starvation the paper describes)\n");
+    write_csv("ablation_awari_combine.csv", "combine,elapsed_s,inter_msgs", &rows);
+}
+
+fn gateway_overhead_sweep() {
+    println!("== Ablation 2: gateway per-message CPU cost (Awari, 0.5 ms / 6.3 MB/s) ==\n");
+    println!(
+        "{:>12} {:>14} {:>14} {:>10}",
+        "gateway us", "unopt (s)", "opt (s)", "opt gain"
+    );
+    let mut rows = Vec::new();
+    for us in [0u64, 30, 60, 120, 240] {
+        let mut elapsed = Vec::new();
+        for variant in [Variant::Unoptimized, Variant::Optimized] {
+            let mut spec = das_spec(CLUSTERS, PROCS_PER_CLUSTER, 0.5, 6.3);
+            spec.gateway_overhead = SimDuration::from_micros(us);
+            let cfg = AwariConfig::medium();
+            let report = Machine::new(spec)
+                .run(move |ctx| awari_rank(ctx, &cfg, variant))
+                .expect("awari run");
+            elapsed.push(report.elapsed.as_secs_f64());
+        }
+        let gain = elapsed[0] / elapsed[1];
+        println!(
+            "{us:>12} {:>14.3} {:>14.3} {gain:>9.2}x",
+            elapsed[0], elapsed[1]
+        );
+        rows.push(format!("{us},{:.6},{:.6},{gain:.3}", elapsed[0], elapsed[1]));
+    }
+    println!("  (with free gateways, combining buys little; as per-message cost");
+    println!("   grows, the second combining level becomes decisive)\n");
+    write_csv(
+        "ablation_gateway.csv",
+        "gateway_us,unopt_s,opt_s,gain",
+        &rows,
+    );
+}
+
+fn barnes_optimization_split() {
+    println!("== Ablation 3: Barnes-Hut optimization split (10 ms / 1 MB/s) ==\n");
+    let machine = Machine::new(das_spec(CLUSTERS, PROCS_PER_CLUSTER, 10.0, 1.0));
+    let run = |variant: Variant, force_barrier: bool| {
+        let cfg = BarnesConfig {
+            force_barrier,
+            ..BarnesConfig::medium()
+        };
+        machine
+            .run(move |ctx| barnes_rank(ctx, &cfg, variant))
+            .expect("barnes run")
+            .elapsed
+            .as_secs_f64()
+    };
+    let unopt = run(Variant::Unoptimized, false);
+    let combine_only = run(Variant::Optimized, true);
+    let full_opt = run(Variant::Optimized, false);
+    println!("  unoptimized (per-node combining + barrier):   {unopt:.3}s");
+    println!("  + cluster combining (barrier kept):           {combine_only:.3}s");
+    println!("  + relaxed barrier (the full optimization):    {full_opt:.3}s\n");
+    write_csv(
+        "ablation_barnes.csv",
+        "config,elapsed_s",
+        &[
+            format!("unoptimized,{unopt:.6}"),
+            format!("cluster_combining_only,{combine_only:.6}"),
+            format!("full_optimized,{full_opt:.6}"),
+        ],
+    );
+}
+
+fn asp_sequencer_modes() {
+    println!("== Ablation 4: ASP ordering modes (bandwidth 1 MB/s) ==\n");
+    println!(
+        "{:>10} {:>14} {:>16} {:>16}",
+        "latency", "fixed seq (s)", "migrating (s)", "no seq (s)"
+    );
+    let mut rows = Vec::new();
+    for lat in [0.5, 10.0, 100.0] {
+        let machine = Machine::new(das_spec(CLUSTERS, PROCS_PER_CLUSTER, lat, 1.0));
+        let run = |variant: Variant, skip: bool| {
+            let cfg = AspConfig {
+                skip_sequencer: skip,
+                ..AspConfig::medium()
+            };
+            machine
+                .run(move |ctx| asp_rank(ctx, &cfg, variant))
+                .expect("asp run")
+                .elapsed
+                .as_secs_f64()
+        };
+        let fixed = run(Variant::Unoptimized, false);
+        let migrating = run(Variant::Optimized, false);
+        let none = run(Variant::Optimized, true);
+        println!("{lat:>8}ms {fixed:>14.3} {migrating:>16.3} {none:>16.3}");
+        rows.push(format!("{lat},{fixed:.6},{migrating:.6},{none:.6}"));
+    }
+    println!("  (migration removes nearly all ordering cost; dropping the");
+    println!("   sequencer — exploiting ASP's static schedule — removes the rest)\n");
+    write_csv(
+        "ablation_asp_sequencer.csv",
+        "latency_ms,fixed_s,migrating_s,none_s",
+        &rows,
+    );
+}
+
+fn latency_jitter() {
+    println!("== Ablation 5: wide-area latency variation (Water opt, 30 ms mean / 1 MB/s) ==\n");
+    println!("{:>10} {:>14}", "jitter", "runtime (s)");
+    let mut rows = Vec::new();
+    for jitter in [0.0, 0.25, 0.5, 0.9] {
+        let spec = das_spec(CLUSTERS, PROCS_PER_CLUSTER, 30.0, 1.0).wan_latency_jitter(jitter);
+        let cfg = WaterConfig::medium();
+        let report = Machine::new(spec)
+            .run(move |ctx| water_rank(ctx, &cfg, Variant::Optimized))
+            .expect("water run");
+        println!("{:>9.0}% {:>14.3}", jitter * 100.0, report.elapsed.as_secs_f64());
+        rows.push(format!("{jitter},{:.6}", report.elapsed.as_secs_f64()));
+    }
+    println!("  (bulk-synchronous phases wait for the slowest message, so");
+    println!("   variation hurts even at an unchanged mean — the paper's");
+    println!("   open question about real wide-area links)");
+    write_csv("ablation_jitter.csv", "jitter,elapsed_s", &rows);
+}
+
+// Appended study: the real-Awari database build (cycle-handling propagation
+// rounds) vs wide-area latency — its round-synchronous structure makes it
+// the most latency-sensitive workload in the repository.
+//
+// Invoked from main() via the hidden hook below so the bench stays a single
+// binary. (See awari_real module docs.)

@@ -1,0 +1,102 @@
+//! §5.1 cluster-structure experiment: with a fully connected wide-area
+//! network, more and smaller clusters *increase* bisection bandwidth, so a
+//! setup of 8 clusters of 4 outperforms 4 clusters of 8 (and so on) despite
+//! replacing fast links with slow ones.
+
+use numagap_apps::{AppId, SuiteConfig, Variant};
+use numagap_bench::{must_run, scale_from_env, write_csv};
+use numagap_net::{das_spec, WanTopology};
+use numagap_rt::Machine;
+
+fn main() {
+    cluster_shapes();
+    wan_topologies();
+}
+
+fn cluster_shapes() {
+    let scale = scale_from_env();
+    let cfg = SuiteConfig::at(scale);
+    // A bandwidth-limited operating point, where the effect lives.
+    let (lat_ms, bw) = (1.0, 0.3);
+    let shapes = [(2usize, 16usize), (4, 8), (8, 4), (16, 2)];
+    println!(
+        "== Cluster structure: 32 processors, WAN {lat_ms} ms / {bw} MB/s (scale={scale:?}) ==\n"
+    );
+    print!("{:<12}", "Program");
+    for (c, p) in shapes {
+        print!(" {:>10}", format!("{c}x{p}"));
+    }
+    println!("   (runtime in seconds; lower is better)");
+    let mut rows = Vec::new();
+    for app in AppId::ALL {
+        let variant = if app.has_optimized() {
+            Variant::Optimized
+        } else {
+            Variant::Unoptimized
+        };
+        print!("{:<12}", app.to_string());
+        for (c, per) in shapes {
+            let machine = Machine::new(das_spec(c, per, lat_ms, bw));
+            let run = must_run(app, &cfg, variant, &machine);
+            print!(" {:>10.3}", run.elapsed.as_secs_f64());
+            rows.push(format!(
+                "{app},{c},{per},{:.6},{}",
+                run.elapsed.as_secs_f64(),
+                run.net.inter_msgs
+            ));
+        }
+        println!();
+    }
+    write_csv(
+        "cluster_structure.csv",
+        "app,clusters,procs_per_cluster,elapsed_s,inter_msgs",
+        &rows,
+    );
+}
+
+/// The paper: the more-smaller-clusters advantage comes from the fully
+/// connected WAN's bisection bandwidth, and "will diminish, and disappear in
+/// star, ring, or bus topologies". Rerun the 8x4 shape under each wiring.
+fn wan_topologies() {
+    let scale = scale_from_env();
+    let cfg = SuiteConfig::at(scale);
+    let (lat_ms, bw) = (1.0, 0.3);
+    let topologies = [
+        WanTopology::FullMesh,
+        WanTopology::Star {
+            hub: 0,
+        },
+        WanTopology::Ring,
+    ];
+    println!(
+        "\n== WAN wiring: 8 clusters x 4 processors, {lat_ms} ms / {bw} MB/s ==\n"
+    );
+    print!("{:<12}", "Program");
+    for t in &topologies {
+        print!(" {:>12}", t.label());
+    }
+    println!("   (runtime in seconds)");
+    let mut rows = Vec::new();
+    for app in AppId::ALL {
+        let variant = if app.has_optimized() {
+            Variant::Optimized
+        } else {
+            Variant::Unoptimized
+        };
+        print!("{:<12}", app.to_string());
+        for &topology in &topologies {
+            let spec = das_spec(8, 4, lat_ms, bw).wan_topology(topology);
+            let run = must_run(app, &cfg, variant, &Machine::new(spec));
+            print!(" {:>12.3}", run.elapsed.as_secs_f64());
+            rows.push(format!(
+                "{app},{},{:.6}",
+                topology.label(),
+                run.elapsed.as_secs_f64()
+            ));
+        }
+        println!();
+    }
+    println!("  (the full mesh's bisection-bandwidth advantage disappears on");
+    println!("   the star and the ring, as the paper predicts)");
+    write_csv("wan_topology.csv", "app,wan_topology,elapsed_s", &rows);
+}

@@ -1,0 +1,223 @@
+//! §6 MagPIe experiment: completion time of the fourteen MPI collective
+//! operations, flat (MPICH-like) versus cluster-aware (MagPIe-like), at the
+//! paper's operating point of 10 ms wide-area latency and 1 MByte/s — where
+//! the paper reports speedups of up to 10x.
+
+use numagap_bench::{quick_from_env, wan_machine, write_csv};
+use numagap_collectives::{Algo, Coll};
+use numagap_rt::{Ctx, Machine};
+use numagap_sim::SimDuration;
+
+/// Runs `iters` repetitions of one collective and returns mean completion
+/// time. Iterations are barrier-separated so they do not overlap, and the
+/// cost of the barriers themselves is measured separately and subtracted.
+fn time_op(machine: &Machine, algo: Algo, iters: usize, op: &'static str, elems: usize) -> SimDuration {
+    let measure = |with_op: bool| {
+        let report = machine
+            .run(move |ctx| {
+                let mut coll = Coll::new(0, algo);
+                let mut sync = Coll::new(1, algo);
+                // Warm-up barrier so everyone starts together.
+                sync.barrier(ctx);
+                let start = ctx.now();
+                for _ in 0..iters {
+                    if with_op {
+                        run_one(ctx, &mut coll, op, elems);
+                    }
+                    sync.barrier(ctx);
+                }
+                ctx.now() - start
+            })
+            .unwrap();
+        // The slowest rank's elapsed time.
+        report.results.into_iter().max().unwrap()
+    };
+    let with_op = measure(true);
+    let barriers_only = measure(false);
+    let net = with_op.saturating_sub(barriers_only);
+    SimDuration::from_nanos(net.as_nanos() / iters as u64)
+}
+
+fn run_one(ctx: &mut Ctx, coll: &mut Coll, op: &str, elems: usize) {
+    let me = ctx.rank();
+    let p = ctx.nprocs();
+    let vec = vec![1.0f64; elems];
+    match op {
+        "barrier" => coll.barrier(ctx),
+        "bcast" => {
+            let data = if me == 0 { Some(vec) } else { None };
+            coll.bcast(ctx, 0, data);
+        }
+        "reduce" => {
+            coll.reduce(ctx, 0, vec, |a, b| {
+                a.iter().zip(b).map(|(x, y)| x + y).collect()
+            });
+        }
+        "allreduce" => {
+            coll.allreduce(ctx, vec, |a, b| {
+                a.iter().zip(b).map(|(x, y)| x + y).collect()
+            });
+        }
+        "gather" => {
+            coll.gatherv(ctx, 0, vec);
+        }
+        "gatherv" => {
+            coll.gatherv(ctx, 0, vec![me as f64; elems / 2 + me % 3]);
+        }
+        "scatter" => {
+            let data = if me == 0 {
+                Some(vec![vec; p])
+            } else {
+                None
+            };
+            coll.scatterv(ctx, 0, data);
+        }
+        "scatterv" => {
+            let data = if me == 0 {
+                Some((0..p).map(|q| vec![q as f64; elems / 2 + q % 3]).collect())
+            } else {
+                None
+            };
+            coll.scatterv(ctx, 0, data);
+        }
+        "allgather" => {
+            coll.allgatherv(ctx, vec);
+        }
+        "allgatherv" => {
+            coll.allgatherv(ctx, vec![me as f64; elems / 2 + me % 3]);
+        }
+        "alltoall" => {
+            coll.alltoallv(ctx, vec![vec![1.0f64; elems / p.max(1)]; p]);
+        }
+        "alltoallv" => {
+            coll.alltoallv(
+                ctx,
+                (0..p).map(|q| vec![1.0f64; elems / p.max(1) + q % 3]).collect(),
+            );
+        }
+        "scan" => {
+            coll.scan(ctx, vec, |a, b| {
+                a.iter().zip(b).map(|(x, y)| x + y).collect()
+            });
+        }
+        "reduce_scatter" => {
+            coll.reduce_scatter(ctx, vec![vec![1.0f64; elems / p.max(1)]; p], |a, b| {
+                a.iter().zip(b).map(|(x, y)| x + y).collect()
+            });
+        }
+        other => panic!("unknown op {other}"),
+    }
+}
+
+const OPS: [&str; 14] = [
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "gatherv",
+    "scatter",
+    "scatterv",
+    "allgather",
+    "allgatherv",
+    "alltoall",
+    "alltoallv",
+    "scan",
+    "reduce_scatter",
+];
+
+fn main() {
+    let quick = quick_from_env();
+    // The paper's Section 6 operating point.
+    let machine = wan_machine(10.0, 1.0);
+    let iters = if quick { 2 } else { 5 };
+    let elems = 2048; // 16 KB payloads
+    println!("== MagPIe: collective completion time, 4x8, 10 ms / 1 MB/s WAN ==\n");
+    println!(
+        "{:<16} {:>12} {:>14} {:>8}",
+        "Operation", "flat (ms)", "aware (ms)", "speedup"
+    );
+    let mut rows = Vec::new();
+    let mut best: f64 = 0.0;
+    for op in OPS {
+        let flat = time_op(&machine, Algo::Flat, iters, op, elems);
+        let aware = time_op(&machine, Algo::ClusterAware, iters, op, elems);
+        let speedup = flat.as_secs_f64() / aware.as_secs_f64();
+        best = best.max(speedup);
+        println!(
+            "{:<16} {:>12.3} {:>14.3} {:>7.2}x",
+            op,
+            flat.as_millis_f64(),
+            aware.as_millis_f64(),
+            speedup
+        );
+        rows.push(format!(
+            "{op},{:.6},{:.6},{speedup:.3}",
+            flat.as_secs_f64(),
+            aware.as_secs_f64()
+        ));
+    }
+    println!("\nbest cluster-aware speedup: {best:.1}x (paper: up to 10x)");
+    write_csv("magpie.csv", "op,flat_s,aware_s,speedup", &rows);
+
+    // The paper: "the system's advantage increases for higher wide area
+    // latencies". Show the scan speedup as latency grows.
+    println!("\n-- speedup growth with wide-area latency (scan, 16 KB) --");
+    println!("{:<12} {:>12} {:>14} {:>8}", "latency", "flat (ms)", "aware (ms)", "speedup");
+    let mut rows = Vec::new();
+    for lat in [1.0, 3.3, 10.0, 30.0, 100.0] {
+        let machine = wan_machine(lat, 1.0);
+        let flat = time_op(&machine, Algo::Flat, iters, "scan", elems);
+        let aware = time_op(&machine, Algo::ClusterAware, iters, "scan", elems);
+        let speedup = flat.as_secs_f64() / aware.as_secs_f64();
+        println!(
+            "{:<12} {:>12.3} {:>14.3} {:>7.2}x",
+            format!("{lat} ms"),
+            flat.as_millis_f64(),
+            aware.as_millis_f64(),
+            speedup
+        );
+        rows.push(format!(
+            "{lat},{:.6},{:.6},{speedup:.3}",
+            flat.as_secs_f64(),
+            aware.as_secs_f64()
+        ));
+    }
+    write_csv("magpie_latency.csv", "latency_ms,flat_s,aware_s,speedup", &rows);
+
+    // The paper: "Application kernels improve by up to a factor of 4."
+    // A collective-bound power-iteration kernel, whole-program time.
+    println!("\n-- application kernel: distributed power iteration --");
+    println!(
+        "{:<12} {:>12} {:>14} {:>8}",
+        "latency", "flat (s)", "aware (s)", "speedup"
+    );
+    let mut rows = Vec::new();
+    for lat in [3.3, 10.0, 30.0] {
+        let machine = wan_machine(lat, 1.0);
+        let run = |algo| {
+            let cfg = numagap_apps::kernels::PowerConfig::medium();
+            machine
+                .run(move |ctx| numagap_apps::kernels::power_rank(ctx, &cfg, algo))
+                .unwrap()
+                .elapsed
+        };
+        let flat = run(Algo::Flat);
+        let aware = run(Algo::ClusterAware);
+        let speedup = flat.as_secs_f64() / aware.as_secs_f64();
+        println!(
+            "{:<12} {:>12.3} {:>14.3} {:>7.2}x",
+            format!("{lat} ms"),
+            flat.as_secs_f64(),
+            aware.as_secs_f64(),
+            speedup
+        );
+        rows.push(format!(
+            "{lat},{:.6},{:.6},{speedup:.3}",
+            flat.as_secs_f64(),
+            aware.as_secs_f64()
+        ));
+    }
+    println!("  (paper: kernels improve by up to a factor of 4)");
+    write_csv("magpie_kernel.csv", "latency_ms,flat_s,aware_s,speedup", &rows);
+}

@@ -1,0 +1,88 @@
+//! Criterion microbenchmarks of the simulation substrate itself: event
+//! kernel throughput, two-layer cost-model evaluation, combining buffers and
+//! barrier latency. These quantify how fast the simulator runs experiments,
+//! not the paper's results.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use numagap_net::{das_spec, uniform_spec, TwoLayerNetwork};
+use numagap_rt::{Barrier, Machine};
+use numagap_sim::{Network, ProcId, SimDuration, SimTime, Tag};
+
+fn bench_transfer(c: &mut Criterion) {
+    c.bench_function("net/two_layer_transfer", |b| {
+        let mut net = TwoLayerNetwork::new(das_spec(4, 8, 10.0, 1.0));
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1000;
+            std::hint::black_box(net.transfer(
+                ProcId((t % 32) as usize),
+                ProcId(((t * 7 + 5) % 32) as usize),
+                256,
+                SimTime::from_nanos(t),
+            ))
+        });
+    });
+}
+
+fn bench_kernel_round_trip(c: &mut Criterion) {
+    c.bench_function("sim/ping_pong_1000", |b| {
+        b.iter(|| {
+            let machine = Machine::new(uniform_spec(2));
+            machine
+                .run(|ctx| {
+                    let tag = Tag::app(0);
+                    if ctx.rank() == 0 {
+                        for _ in 0..1000u32 {
+                            ctx.send(1, tag, 1u8, 1);
+                            ctx.recv_tag(tag);
+                        }
+                    } else {
+                        for _ in 0..1000u32 {
+                            ctx.recv_tag(tag);
+                            ctx.send(0, tag, 1u8, 1);
+                        }
+                    }
+                })
+                .unwrap()
+        });
+    });
+}
+
+fn bench_compute_only(c: &mut Criterion) {
+    c.bench_function("sim/compute_ops_10000", |b| {
+        b.iter(|| {
+            let machine = Machine::new(uniform_spec(1));
+            machine
+                .run(|ctx| {
+                    for _ in 0..10_000u32 {
+                        ctx.compute(SimDuration::from_nanos(10));
+                    }
+                })
+                .unwrap()
+        });
+    });
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    c.bench_function("rt/barrier_32p_x32", |b| {
+        b.iter(|| {
+            let machine = Machine::new(uniform_spec(32));
+            machine
+                .run(|ctx| {
+                    let mut barrier = Barrier::new(0);
+                    for _ in 0..32 {
+                        barrier.wait(ctx);
+                    }
+                })
+                .unwrap()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_transfer, bench_kernel_round_trip, bench_compute_only, bench_barrier
+}
+criterion_main!(benches);

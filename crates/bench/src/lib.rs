@@ -1,0 +1,150 @@
+//! # numagap-bench — the experiment harness
+//!
+//! One bench target per table/figure of the paper (run with `cargo bench`):
+//!
+//! | Target | Regenerates |
+//! |---|---|
+//! | `table1` | Table 1 (single-cluster speedups, traffic, runtime) + Table 2 |
+//! | `fig1_traffic` | Figure 1 (inter-cluster volume vs message rate) |
+//! | `fig3_sweep` | Figure 3 (12 panels of relative speedup vs bandwidth × latency) |
+//! | `fig4_comm_time` | Figure 4 (communication time vs bandwidth / latency) |
+//! | `cluster_structure` | §5.1 cluster-structure experiment (8x4 vs 4x8 ...) |
+//! | `magpie_bench` | §6 MagPIe collectives vs flat (up to 10x) |
+//! | `micro` | Criterion microbenchmarks of the simulator itself |
+//!
+//! Environment knobs:
+//! * `REPRO_SCALE` = `small` | `medium` (default) | `paper`
+//! * `REPRO_QUICK` = `1` — coarse grids for a fast smoke pass
+//! * `REPRO_OUT` — directory for CSV output (default `bench_results/`)
+
+#![warn(missing_docs)]
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use numagap_apps::{run_app, AppId, AppRun, Scale, SuiteConfig, Variant};
+use numagap_net::das_spec;
+use numagap_rt::Machine;
+use numagap_sim::SimDuration;
+
+/// The machine size used throughout the paper's main experiments.
+pub const CLUSTERS: usize = 4;
+/// Processors per cluster in the main experiments.
+pub const PROCS_PER_CLUSTER: usize = 8;
+
+/// Problem scale selected via `REPRO_SCALE` (default: medium).
+pub fn scale_from_env() -> Scale {
+    match std::env::var("REPRO_SCALE").as_deref() {
+        Ok("small") => Scale::Small,
+        Ok("paper") => Scale::Paper,
+        _ => Scale::Medium,
+    }
+}
+
+/// Whether `REPRO_QUICK=1` asked for coarse grids.
+pub fn quick_from_env() -> bool {
+    std::env::var("REPRO_QUICK").as_deref() == Ok("1")
+}
+
+/// Output directory for CSV artifacts.
+pub fn out_dir() -> PathBuf {
+    let dir = std::env::var("REPRO_OUT").unwrap_or_else(|_| "bench_results".to_string());
+    let path = PathBuf::from(dir);
+    fs::create_dir_all(&path).expect("create output directory");
+    path
+}
+
+/// Writes CSV rows (with header) to `out_dir()/name`.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let path = out_dir().join(name);
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").unwrap();
+    for row in rows {
+        writeln!(f, "{row}").unwrap();
+    }
+    println!("  [wrote {}]", path.display());
+}
+
+/// The standard multi-cluster machine with the given WAN parameters.
+pub fn wan_machine(latency_ms: f64, bandwidth_mbs: f64) -> Machine {
+    Machine::new(das_spec(CLUSTERS, PROCS_PER_CLUSTER, latency_ms, bandwidth_mbs))
+}
+
+/// The all-Myrinet single-cluster machine with the same processor count.
+pub fn baseline_machine() -> Machine {
+    Machine::new(numagap_net::uniform_spec(CLUSTERS * PROCS_PER_CLUSTER))
+}
+
+/// Runs an app and panics with context on simulator failure (benches have no
+/// graceful recovery path).
+pub fn must_run(app: AppId, cfg: &SuiteConfig, variant: Variant, machine: &Machine) -> AppRun {
+    run_app(app, cfg, variant, machine)
+        .unwrap_or_else(|e| panic!("{app}/{variant} failed: {e}"))
+}
+
+/// The paper's relative-speedup metric: `T_singlecluster / T_multicluster`
+/// as a percentage (both with the same processor count).
+pub fn relative_speedup_pct(baseline: SimDuration, multi: SimDuration) -> f64 {
+    100.0 * baseline.as_secs_f64() / multi.as_secs_f64()
+}
+
+/// The paper's communication-time metric (Figure 4):
+/// `(T_multi - T_single) / T_multi` as a percentage, clamped at 0.
+pub fn comm_time_pct(baseline: SimDuration, multi: SimDuration) -> f64 {
+    let tm = multi.as_secs_f64();
+    let tl = baseline.as_secs_f64();
+    (100.0 * (tm - tl) / tm).max(0.0)
+}
+
+/// Pretty-prints a latency × bandwidth grid of percentages.
+pub fn print_grid(title: &str, latencies: &[f64], bandwidths: &[f64], cells: &[Vec<f64>]) {
+    println!("\n  {title}");
+    print!("    lat\\bw  ");
+    for bw in bandwidths {
+        print!("{bw:>8.2}");
+    }
+    println!("  MByte/s");
+    for (i, lat) in latencies.iter().enumerate() {
+        print!("    {lat:>6.1}ms");
+        for v in &cells[i] {
+            print!("{v:>7.1}%");
+        }
+        println!();
+    }
+}
+
+/// Baseline (single-cluster, 32p) runtimes per app, computed once.
+pub fn baselines(cfg: &SuiteConfig, apps: &[AppId]) -> Vec<(AppId, SimDuration)> {
+    let machine = baseline_machine();
+    apps.iter()
+        .map(|&app| {
+            let run = must_run(app, cfg, Variant::Unoptimized, &machine);
+            (app, run.elapsed)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_metric() {
+        let tl = SimDuration::from_millis(50);
+        let tm = SimDuration::from_millis(100);
+        assert!((relative_speedup_pct(tl, tm) - 50.0).abs() < 1e-12);
+        assert!((comm_time_pct(tl, tm) - 50.0).abs() < 1e-12);
+        // Faster-than-baseline multi (possible at tiny gaps) clamps comm to 0.
+        assert_eq!(comm_time_pct(tm, tl), 0.0);
+    }
+
+    #[test]
+    fn scale_default_is_medium() {
+        // Do not set the env var here (tests run in parallel); just check
+        // the default path.
+        if std::env::var("REPRO_SCALE").is_err() {
+            assert_eq!(scale_from_env(), Scale::Medium);
+        }
+    }
+}

@@ -1,0 +1,557 @@
+//! # numagap-cli — command-line front end
+//!
+//! ```text
+//! numagap run --app asp --variant opt --clusters 4 --procs 8 \
+//!             --latency 10 --bandwidth 1.0 [--scale medium] [--verify] \
+//!             [--jitter 0.2] [--trace out.json]
+//! numagap suite [machine flags]          # all six apps, both variants
+//! numagap info [machine flags]           # print the machine and its gap
+//! numagap help
+//! ```
+//!
+//! The argument parser is hand-rolled (the project carries no CLI
+//! dependency) and unit-tested; `main` is a thin wrapper.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use numagap_apps::{
+    checksum_tolerance, run_app, serial_checksum, AppId, Scale, SuiteConfig, Variant,
+};
+use numagap_net::{das_spec, numa_gap, TwoLayerSpec};
+use numagap_rt::Machine;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run one application.
+    Run(RunArgs),
+    /// Run the whole suite.
+    Suite(MachineArgs),
+    /// Describe the machine.
+    Info(MachineArgs),
+    /// Build a real Awari endgame database.
+    AwariDb {
+        /// Largest stone count.
+        stones: u32,
+        /// Machine shape.
+        machine: MachineArgs,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Machine-shape flags shared by all commands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineArgs {
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Processors per cluster.
+    pub procs: usize,
+    /// One-way WAN latency in milliseconds.
+    pub latency_ms: f64,
+    /// WAN bandwidth in MByte/s.
+    pub bandwidth_mbs: f64,
+    /// WAN latency jitter fraction.
+    pub jitter: f64,
+}
+
+impl Default for MachineArgs {
+    fn default() -> Self {
+        MachineArgs {
+            clusters: 4,
+            procs: 8,
+            latency_ms: 10.0,
+            bandwidth_mbs: 1.0,
+            jitter: 0.0,
+        }
+    }
+}
+
+impl MachineArgs {
+    /// Builds the interconnect spec.
+    pub fn spec(&self) -> TwoLayerSpec {
+        das_spec(self.clusters, self.procs, self.latency_ms, self.bandwidth_mbs)
+            .wan_latency_jitter(self.jitter)
+    }
+}
+
+/// Flags of the `run` command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// Which application.
+    pub app: AppId,
+    /// Which variant.
+    pub variant: Variant,
+    /// Problem scale.
+    pub scale: Scale,
+    /// Machine shape.
+    pub machine: MachineArgs,
+    /// Verify the checksum against the serial reference.
+    pub verify: bool,
+    /// Write a Chrome trace JSON to this path.
+    pub trace: Option<String>,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn parse_app(s: &str) -> Result<AppId, ParseError> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "water" => AppId::Water,
+        "barnes" | "barnes-hut" | "barneshut" => AppId::Barnes,
+        "tsp" => AppId::Tsp,
+        "asp" => AppId::Asp,
+        "awari" => AppId::Awari,
+        "fft" => AppId::Fft,
+        other => return Err(ParseError(format!("unknown app '{other}'"))),
+    })
+}
+
+fn parse_variant(s: &str) -> Result<Variant, ParseError> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "unopt" | "unoptimized" | "original" => Variant::Unoptimized,
+        "opt" | "optimized" => Variant::Optimized,
+        other => return Err(ParseError(format!("unknown variant '{other}'"))),
+    })
+}
+
+fn parse_scale(s: &str) -> Result<Scale, ParseError> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "small" => Scale::Small,
+        "medium" => Scale::Medium,
+        "paper" => Scale::Paper,
+        other => return Err(ParseError(format!("unknown scale '{other}'"))),
+    })
+}
+
+fn take_value<'a>(
+    flag: &str,
+    it: &mut impl Iterator<Item = &'a str>,
+) -> Result<&'a str, ParseError> {
+    it.next()
+        .ok_or_else(|| ParseError(format!("flag {flag} needs a value")))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, ParseError> {
+    v.parse()
+        .map_err(|_| ParseError(format!("invalid value '{v}' for {flag}")))
+}
+
+/// Parses a full command line (excluding the binary name).
+pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
+    let mut it = args.iter().copied();
+    let cmd = match it.next() {
+        None | Some("help") | Some("--help") | Some("-h") => return Ok(Command::Help),
+        Some(c) => c,
+    };
+    let mut app = None;
+    let mut variant = Variant::Optimized;
+    let mut scale = Scale::Medium;
+    let mut machine = MachineArgs::default();
+    let mut verify = false;
+    let mut trace = None;
+    let mut stones = 4u32;
+    while let Some(flag) = it.next() {
+        match flag {
+            "--app" => app = Some(parse_app(take_value(flag, &mut it)?)?),
+            "--variant" => variant = parse_variant(take_value(flag, &mut it)?)?,
+            "--scale" => scale = parse_scale(take_value(flag, &mut it)?)?,
+            "--clusters" => machine.clusters = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--procs" => machine.procs = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--latency" => machine.latency_ms = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--bandwidth" => machine.bandwidth_mbs = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--jitter" => machine.jitter = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--verify" => verify = true,
+            "--stones" => stones = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--trace" => trace = Some(take_value(flag, &mut it)?.to_string()),
+            other => return Err(ParseError(format!("unknown flag '{other}'"))),
+        }
+    }
+    match cmd {
+        "run" => {
+            let app = app.ok_or_else(|| ParseError("run requires --app".into()))?;
+            Ok(Command::Run(RunArgs {
+                app,
+                variant,
+                scale,
+                machine,
+                verify,
+                trace,
+            }))
+        }
+        "suite" => Ok(Command::Suite(machine)),
+        "info" => Ok(Command::Info(machine)),
+        "awari-db" => Ok(Command::AwariDb {
+            stones,
+            machine,
+        }),
+        other => Err(ParseError(format!("unknown command '{other}'"))),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+numagap — simulated two-layer interconnect testbed (HPCA'99 reproduction)
+
+USAGE:
+  numagap run --app <water|barnes|tsp|asp|awari|fft> [OPTIONS]
+  numagap awari-db [--stones <N>] [MACHINE OPTIONS]
+  numagap suite [MACHINE OPTIONS]
+  numagap info  [MACHINE OPTIONS]
+  numagap help
+
+RUN OPTIONS:
+  --variant <unopt|opt>      program variant            [default: opt]
+  --scale <small|medium|paper>  problem size            [default: medium]
+  --verify                   check against the serial reference
+  --trace <file.json>        write a Chrome trace (chrome://tracing)
+
+MACHINE OPTIONS:
+  --clusters <N>             number of clusters         [default: 4]
+  --procs <N>                processors per cluster     [default: 8]
+  --latency <ms>             one-way WAN latency        [default: 10]
+  --bandwidth <MB/s>         WAN bandwidth per link     [default: 1.0]
+  --jitter <0..1>            WAN latency variation      [default: 0]
+";
+
+/// Executes a parsed command; returns the process exit code.
+pub fn execute(cmd: Command) -> i32 {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            0
+        }
+        Command::Info(machine) => {
+            let spec = machine.spec();
+            let (lat_gap, bw_gap) = numa_gap(&spec);
+            println!(
+                "machine: {} ({} processors, {} clusters)",
+                spec.topology.label(),
+                spec.topology.nprocs(),
+                spec.topology.nclusters()
+            );
+            println!(
+                "intra:   {} one-way, {:.1} MB/s",
+                spec.intra.latency,
+                spec.intra.mbytes_per_sec()
+            );
+            println!(
+                "inter:   {} one-way, {:.2} MB/s, jitter {:.0}%",
+                spec.inter.latency,
+                spec.inter.mbytes_per_sec(),
+                spec.wan_latency_jitter * 100.0
+            );
+            println!("NUMA gap: {lat_gap:.0}x latency, {bw_gap:.1}x bandwidth");
+            0
+        }
+        Command::AwariDb { stones, machine } => {
+            use numagap_apps::awari_board::{level_size, solve};
+            use numagap_apps::awari_real::{awari_real_rank, serial_awari_real, AwariRealConfig};
+            let cfg = AwariRealConfig {
+                max_stones: stones,
+                ..AwariRealConfig::small()
+            };
+            let db = solve(stones);
+            println!("Awari endgame database (last-capture-wins variant), <= {stones} stones");
+            println!(
+                "{:>7} {:>10} {:>8} {:>8} {:>8}",
+                "stones", "positions", "wins", "losses", "draws"
+            );
+            for s in 0..=stones {
+                let (w, l, d) = db.level_counts(s);
+                println!("{s:>7} {:>10} {w:>8} {l:>8} {d:>8}", level_size(s));
+            }
+            let serial = serial_awari_real(&cfg);
+            let cfg2 = cfg.clone();
+            let report = match Machine::new(machine.spec())
+                .run(move |ctx| awari_real_rank(ctx, &cfg2))
+            {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("simulation failed: {e}");
+                    return 1;
+                }
+            };
+            let parallel: f64 = report.results.iter().map(|r| r.checksum).sum();
+            println!("\nparallel build:  {} virtual", report.elapsed);
+            println!("wide-area load:  {} messages", report.net_stats.inter_msgs);
+            if (parallel - serial).abs() < 1e-9 {
+                println!("verification:    parallel database matches the serial solver");
+                0
+            } else {
+                println!("verification:    MISMATCH ({parallel} vs {serial})");
+                1
+            }
+        }
+        Command::Suite(machine) => {
+            let cfg = SuiteConfig::at(Scale::Small);
+            let m = Machine::new(machine.spec());
+            println!(
+                "{:<12} {:<12} {:>12} {:>12} {:>9}",
+                "Program", "variant", "runtime", "WAN msgs", "verified"
+            );
+            let mut failures = 0;
+            for app in AppId::ALL {
+                let expected = serial_checksum(app, &cfg);
+                for variant in [Variant::Unoptimized, Variant::Optimized] {
+                    match run_app(app, &cfg, variant, &m) {
+                        Ok(run) => {
+                            let tol = checksum_tolerance(app).max(1e-15);
+                            let err = (run.checksum - expected).abs()
+                                / expected.abs().max(run.checksum.abs()).max(1e-30);
+                            let ok = err <= tol;
+                            if !ok {
+                                failures += 1;
+                            }
+                            println!(
+                                "{:<12} {:<12} {:>12} {:>12} {:>9}",
+                                app.to_string(),
+                                variant.to_string(),
+                                run.elapsed.to_string(),
+                                run.net.inter_msgs,
+                                if ok { "yes" } else { "NO" }
+                            );
+                        }
+                        Err(e) => {
+                            failures += 1;
+                            println!("{app}/{variant} failed: {e}");
+                        }
+                    }
+                }
+            }
+            i32::from(failures > 0)
+        }
+        Command::Run(args) => {
+            let cfg = SuiteConfig::at(args.scale);
+            let mut machine = Machine::new(args.machine.spec());
+            if args.trace.is_some() {
+                machine = machine.with_tracing();
+            }
+            let run = match run_app(args.app, &cfg, args.variant, &machine) {
+                Ok(run) => run,
+                Err(e) => {
+                    eprintln!("simulation failed: {e}");
+                    return 1;
+                }
+            };
+            println!("app:        {} ({})", run.app, run.variant);
+            println!("machine:    {}", machine.spec().topology.label());
+            println!("runtime:    {}", run.elapsed);
+            println!(
+                "traffic:    {} intra msgs, {} inter msgs, {} inter bytes",
+                run.net.intra_msgs, run.net.inter_msgs, run.net.inter_payload_bytes
+            );
+            println!("checksum:   {:.6}", run.checksum);
+            println!("work units: {}", run.work);
+            if !run.net.wan_busy.is_empty() {
+                let max_busy = run
+                    .net
+                    .wan_busy
+                    .iter()
+                    .map(|(_, _, b)| b.as_secs_f64())
+                    .fold(0.0f64, f64::max);
+                println!(
+                    "WAN load:   busiest link {:.0}% of the makespan",
+                    100.0 * max_busy / run.elapsed.as_secs_f64().max(1e-30)
+                );
+            }
+            let mut code = 0;
+            if args.verify {
+                let expected = serial_checksum(args.app, &cfg);
+                let tol = checksum_tolerance(args.app).max(1e-15);
+                let err = (run.checksum - expected).abs()
+                    / expected.abs().max(run.checksum.abs()).max(1e-30);
+                if err <= tol {
+                    println!("verify:     ok (serial reference {expected:.6})");
+                } else {
+                    println!("verify:     FAILED (serial reference {expected:.6})");
+                    code = 1;
+                }
+            }
+            // A trace needs a dedicated traced run through Machine::run —
+            // run_app does not thread traces — so rerun the app under
+            // tracing when requested.
+            if let Some(path) = args.trace {
+                match trace_run(args.app, &cfg, args.variant, &machine) {
+                    Ok(json) => {
+                        if let Err(e) = std::fs::write(&path, json) {
+                            eprintln!("failed to write trace {path}: {e}");
+                            code = 1;
+                        } else {
+                            println!("trace:      {path}");
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("trace run failed: {e}");
+                        code = 1;
+                    }
+                }
+            }
+            code
+        }
+    }
+}
+
+fn trace_run(
+    app: AppId,
+    cfg: &SuiteConfig,
+    variant: Variant,
+    machine: &Machine,
+) -> Result<String, numagap_sim::SimError> {
+    use numagap_apps::asp::asp_rank;
+    use numagap_apps::awari::awari_rank;
+    use numagap_apps::barnes::barnes_rank;
+    use numagap_apps::fft::fft_rank;
+    use numagap_apps::tsp::tsp_rank;
+    use numagap_apps::water::water_rank;
+    let machine = machine.clone().with_tracing();
+    let report = match app {
+        AppId::Water => {
+            let c = cfg.water.clone();
+            machine.run(move |ctx| water_rank(ctx, &c, variant))?
+        }
+        AppId::Barnes => {
+            let c = cfg.barnes.clone();
+            machine.run(move |ctx| barnes_rank(ctx, &c, variant))?
+        }
+        AppId::Tsp => {
+            let c = cfg.tsp.clone();
+            machine.run(move |ctx| tsp_rank(ctx, &c, variant))?
+        }
+        AppId::Asp => {
+            let c = cfg.asp.clone();
+            machine.run(move |ctx| asp_rank(ctx, &c, variant))?
+        }
+        AppId::Awari => {
+            let c = cfg.awari.clone();
+            machine.run(move |ctx| awari_rank(ctx, &c, variant))?
+        }
+        AppId::Fft => {
+            let c = cfg.fft.clone();
+            machine.run(move |ctx| fft_rank(ctx, &c, variant))?
+        }
+    };
+    Ok(report
+        .trace
+        .expect("tracing was enabled")
+        .to_chrome_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_run() {
+        let cmd = parse(&[
+            "run", "--app", "asp", "--variant", "unopt", "--clusters", "2", "--procs", "4",
+            "--latency", "3.3", "--bandwidth", "0.5", "--scale", "small", "--verify",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Run(args) => {
+                assert_eq!(args.app, AppId::Asp);
+                assert_eq!(args.variant, Variant::Unoptimized);
+                assert_eq!(args.scale, Scale::Small);
+                assert_eq!(args.machine.clusters, 2);
+                assert_eq!(args.machine.procs, 4);
+                assert!((args.machine.latency_ms - 3.3).abs() < 1e-12);
+                assert!((args.machine.bandwidth_mbs - 0.5).abs() < 1e-12);
+                assert!(args.verify);
+                assert!(args.trace.is_none());
+            }
+            other => panic!("expected run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn defaults_are_sensible() {
+        let cmd = parse(&["run", "--app", "water"]).unwrap();
+        match cmd {
+            Command::Run(args) => {
+                assert_eq!(args.variant, Variant::Optimized);
+                assert_eq!(args.scale, Scale::Medium);
+                assert_eq!(args.machine, MachineArgs::default());
+            }
+            other => panic!("expected run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["run"]).is_err(), "run needs --app");
+        assert!(parse(&["run", "--app", "chess"]).is_err());
+        assert!(parse(&["run", "--app", "asp", "--latency"]).is_err());
+        assert!(parse(&["run", "--app", "asp", "--latency", "abc"]).is_err());
+        assert!(parse(&["frobnicate"]).is_err());
+        assert!(parse(&["run", "--app", "asp", "--wat", "1"]).is_err());
+    }
+
+    #[test]
+    fn help_variants() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&["help"]).unwrap(), Command::Help);
+        assert_eq!(parse(&["--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn awari_db_parses_and_runs() {
+        match parse(&["awari-db", "--stones", "3", "--clusters", "2", "--procs", "2"]).unwrap() {
+            Command::AwariDb { stones, machine } => {
+                assert_eq!(stones, 3);
+                assert_eq!(machine.clusters, 2);
+            }
+            other => panic!("expected awari-db, got {other:?}"),
+        }
+        let code = execute(
+            parse(&["awari-db", "--stones", "2", "--clusters", "2", "--procs", "2"]).unwrap(),
+        );
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn info_and_suite_parse_machine_flags() {
+        match parse(&["info", "--clusters", "8", "--procs", "2", "--jitter", "0.3"]).unwrap() {
+            Command::Info(m) => {
+                assert_eq!(m.clusters, 8);
+                assert_eq!(m.procs, 2);
+                assert!((m.jitter - 0.3).abs() < 1e-12);
+            }
+            other => panic!("expected info, got {other:?}"),
+        }
+        assert!(matches!(parse(&["suite"]).unwrap(), Command::Suite(_)));
+    }
+
+    #[test]
+    fn app_name_aliases() {
+        assert_eq!(parse_app("Barnes-Hut").unwrap(), AppId::Barnes);
+        assert_eq!(parse_app("FFT").unwrap(), AppId::Fft);
+    }
+
+    #[test]
+    fn run_executes_end_to_end() {
+        // Smallest possible smoke: run ASP small on a tiny machine.
+        let cmd = parse(&[
+            "run", "--app", "asp", "--scale", "small", "--clusters", "2", "--procs", "2",
+            "--verify",
+        ])
+        .unwrap();
+        assert_eq!(execute(cmd), 0);
+    }
+
+    #[test]
+    fn info_executes() {
+        assert_eq!(execute(parse(&["info"]).unwrap()), 0);
+    }
+}

@@ -1,0 +1,14 @@
+//! `numagap` binary — thin wrapper over [`numagap_cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    match numagap_cli::parse(&arg_refs) {
+        Ok(cmd) => std::process::exit(numagap_cli::execute(cmd)),
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", numagap_cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

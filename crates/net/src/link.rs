@@ -1,0 +1,150 @@
+//! Link parameterization and FIFO occupancy state.
+
+use serde::{Deserialize, Serialize};
+
+use numagap_sim::{SimDuration, SimTime};
+
+/// Latency/bandwidth parameters of one link class.
+///
+/// Bandwidth is expressed in MByte/s (decimal megabytes, as in the paper's
+/// axes) and converted internally to nanoseconds per byte.
+///
+/// # Examples
+///
+/// ```
+/// use numagap_net::LinkParams;
+/// use numagap_sim::SimDuration;
+///
+/// let myrinet = LinkParams::myrinet();
+/// assert_eq!(myrinet.latency, SimDuration::from_micros(20));
+/// // 50 MByte/s => 20 ns per byte
+/// assert_eq!(myrinet.tx_time(1_000_000), SimDuration::from_millis(20));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// One-way link latency.
+    pub latency: SimDuration,
+    /// Nanoseconds of serialization per byte (1000 / bandwidth-in-MByte/s).
+    pub ns_per_byte: f64,
+}
+
+impl LinkParams {
+    /// Creates link parameters from a one-way latency and a bandwidth in
+    /// MByte/s (1 MByte = 10^6 bytes, as in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mbytes_per_sec` is not strictly positive and finite.
+    pub fn new(latency: SimDuration, mbytes_per_sec: f64) -> Self {
+        assert!(
+            mbytes_per_sec.is_finite() && mbytes_per_sec > 0.0,
+            "bandwidth must be positive and finite, got {mbytes_per_sec}"
+        );
+        LinkParams {
+            latency,
+            ns_per_byte: 1000.0 / mbytes_per_sec,
+        }
+    }
+
+    /// The paper's intra-cluster Myrinet: 20 µs application-level one-way
+    /// latency, 50 MByte/s application-level bandwidth.
+    pub fn myrinet() -> Self {
+        LinkParams::new(SimDuration::from_micros(20), 50.0)
+    }
+
+    /// A WAN/ATM-like link with latency in milliseconds and bandwidth in
+    /// MByte/s — the two quantities the paper sweeps.
+    pub fn wide_area(latency_ms: f64, mbytes_per_sec: f64) -> Self {
+        LinkParams::new(SimDuration::from_millis_f64(latency_ms), mbytes_per_sec)
+    }
+
+    /// Serialization time of `bytes` on this link.
+    pub fn tx_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_nanos((bytes as f64 * self.ns_per_byte).round() as u64)
+    }
+
+    /// Bandwidth in MByte/s (for reporting).
+    pub fn mbytes_per_sec(&self) -> f64 {
+        1000.0 / self.ns_per_byte
+    }
+}
+
+/// FIFO occupancy state of one simulated resource (a NIC or a WAN link).
+///
+/// A transmission holds the resource from `max(ready, free_at)` for the
+/// serialization time; later transmissions queue behind it.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct LinkState {
+    /// When the resource next becomes free.
+    pub free_at: SimTime,
+    /// Total busy time accumulated (for utilization reporting).
+    pub busy: SimDuration,
+    /// Total bytes serialized through this resource.
+    pub bytes: u64,
+    /// Total transmissions.
+    pub msgs: u64,
+}
+
+impl LinkState {
+    /// Occupies the resource for `tx` starting no earlier than `ready`;
+    /// returns the time at which serialization starts.
+    pub fn acquire(&mut self, ready: SimTime, tx: SimDuration, bytes: u64) -> SimTime {
+        let start = ready.max(self.free_at);
+        self.free_at = start + tx;
+        self.busy += tx;
+        self.bytes += bytes;
+        self.msgs += 1;
+        start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_time_scales_with_bandwidth() {
+        let fast = LinkParams::new(SimDuration::ZERO, 10.0);
+        let slow = LinkParams::new(SimDuration::ZERO, 1.0);
+        assert_eq!(fast.tx_time(1000).as_nanos() * 10, slow.tx_time(1000).as_nanos());
+        // 1 MB at 1 MB/s takes one second.
+        assert_eq!(slow.tx_time(1_000_000), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn mbytes_per_sec_roundtrips() {
+        let p = LinkParams::new(SimDuration::ZERO, 0.55);
+        assert!((p.mbytes_per_sec() - 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_zero_bandwidth() {
+        let _ = LinkParams::new(SimDuration::ZERO, 0.0);
+    }
+
+    #[test]
+    fn fifo_acquire_queues() {
+        let mut l = LinkState::default();
+        let tx = SimDuration::from_micros(10);
+        let s1 = l.acquire(SimTime::ZERO, tx, 100);
+        assert_eq!(s1, SimTime::ZERO);
+        // Second transfer ready at t=0 must wait for the first.
+        let s2 = l.acquire(SimTime::ZERO, tx, 100);
+        assert_eq!(s2, SimTime::ZERO + tx);
+        // A transfer ready later than free_at starts when ready.
+        let late = SimTime::ZERO + SimDuration::from_millis(1);
+        let s3 = l.acquire(late, tx, 100);
+        assert_eq!(s3, late);
+        assert_eq!(l.msgs, 3);
+        assert_eq!(l.bytes, 300);
+        assert_eq!(l.busy, tx * 3);
+    }
+
+    #[test]
+    fn wide_area_constructor() {
+        let p = LinkParams::wide_area(3.3, 0.95);
+        assert_eq!(p.latency, SimDuration::from_nanos(3_300_000));
+        assert!((p.mbytes_per_sec() - 0.95).abs() < 1e-9);
+    }
+}

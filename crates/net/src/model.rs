@@ -1,0 +1,596 @@
+//! The two-layer interconnect cost model.
+//!
+//! Intra-cluster messages traverse the sender's NIC and the receiver's NIC
+//! (Myrinet-class parameters); inter-cluster messages additionally pass
+//! through the local gateway, a dedicated FIFO wide-area link for that
+//! cluster pair (the DAS WAN was fully connected), and the remote gateway —
+//! store-and-forward, exactly the structure whose cost the paper varies.
+
+use serde::{Deserialize, Serialize};
+
+use numagap_sim::{Network, ProcId, SimDuration, SimTime, Transfer};
+
+use crate::link::{LinkParams, LinkState};
+use crate::topology::Topology;
+use crate::wan::WanTopology;
+
+/// Full parameterization of a two-layer machine.
+///
+/// # Examples
+///
+/// ```
+/// use numagap_net::{TwoLayerSpec, Topology, LinkParams};
+///
+/// let spec = TwoLayerSpec::new(Topology::symmetric(4, 8))
+///     .inter(LinkParams::wide_area(10.0, 1.0));
+/// assert_eq!(spec.topology.nprocs(), 32);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TwoLayerSpec {
+    /// Cluster layout.
+    pub topology: Topology,
+    /// Intra-cluster link class (default: Myrinet, 20 µs / 50 MByte/s).
+    pub intra: LinkParams,
+    /// Inter-cluster link class (default: local ATM ceiling, 0.28 ms /
+    /// 14 MByte/s — the fastest setting the paper's OC3 hardware allowed).
+    pub inter: LinkParams,
+    /// Per-message header/framing bytes added to every declared wire size.
+    pub header_bytes: u64,
+    /// Sender-side software overhead per message.
+    pub send_overhead: SimDuration,
+    /// Receiver-side software overhead per message.
+    pub recv_overhead: SimDuration,
+    /// Store-and-forward processing at each gateway an inter-cluster message
+    /// crosses (two per message). This is *occupancy*, not just latency: each
+    /// gateway's CPU is a FIFO resource, so it caps the per-cluster wide-area
+    /// message rate — the DAS gateways' TCP stacks behaved exactly this way,
+    /// and it is why message combining pays off.
+    pub gateway_overhead: SimDuration,
+    /// Deterministic per-message wide-area latency variation, as a fraction
+    /// in `[0, 1)`: each inter-cluster message's WAN latency is scaled by a
+    /// pseudo-random factor in `[1 - jitter, 1 + jitter]` derived from a
+    /// message counter. `0.0` (the default) reproduces the paper's fixed
+    /// delay loops; non-zero values explore the paper's "further research"
+    /// question about the impact of latency variation on wide-area links.
+    pub wan_latency_jitter: f64,
+    /// How the cluster gateways are wired (default: the DAS's full mesh).
+    /// Star and ring topologies route messages over multiple wide-area hops
+    /// through intermediate gateways — the paper's "less perfect" future
+    /// topologies.
+    pub wan_topology: WanTopology,
+}
+
+impl TwoLayerSpec {
+    /// A spec with paper-calibrated defaults for everything but the topology.
+    pub fn new(topology: Topology) -> Self {
+        TwoLayerSpec {
+            topology,
+            intra: LinkParams::myrinet(),
+            inter: LinkParams::wide_area(0.28, 14.0),
+            header_bytes: 64,
+            send_overhead: SimDuration::from_micros(5),
+            recv_overhead: SimDuration::from_micros(5),
+            gateway_overhead: SimDuration::from_micros(60),
+            wan_latency_jitter: 0.0,
+            wan_topology: WanTopology::FullMesh,
+        }
+    }
+
+    /// Sets the wide-area wiring (full mesh, star, or ring).
+    pub fn wan_topology(mut self, topology: WanTopology) -> Self {
+        self.wan_topology = topology;
+        self
+    }
+
+    /// Sets the deterministic wide-area latency jitter fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= jitter < 1.0`.
+    pub fn wan_latency_jitter(mut self, jitter: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&jitter),
+            "jitter fraction must be in [0, 1), got {jitter}"
+        );
+        self.wan_latency_jitter = jitter;
+        self
+    }
+
+    /// Sets the intra-cluster link class.
+    pub fn intra(mut self, params: LinkParams) -> Self {
+        self.intra = params;
+        self
+    }
+
+    /// Sets the inter-cluster link class.
+    pub fn inter(mut self, params: LinkParams) -> Self {
+        self.inter = params;
+        self
+    }
+
+    /// Sets the per-message header size.
+    pub fn header_bytes(mut self, bytes: u64) -> Self {
+        self.header_bytes = bytes;
+        self
+    }
+
+    /// Builds the stateful network model.
+    pub fn build(self) -> TwoLayerNetwork {
+        TwoLayerNetwork::new(self)
+    }
+}
+
+/// Aggregate traffic statistics of a finished run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Intra-cluster messages.
+    pub intra_msgs: u64,
+    /// Intra-cluster payload bytes (sender-declared, headers excluded).
+    pub intra_payload_bytes: u64,
+    /// Inter-cluster messages.
+    pub inter_msgs: u64,
+    /// Inter-cluster payload bytes.
+    pub inter_payload_bytes: u64,
+    /// Inter-cluster wire bytes (headers included).
+    pub inter_wire_bytes: u64,
+    /// Outgoing inter-cluster messages per source cluster.
+    pub inter_msgs_out: Vec<u64>,
+    /// Outgoing inter-cluster payload bytes per source cluster.
+    pub inter_bytes_out: Vec<u64>,
+    /// Busy time per ordered WAN link `(src_cluster, dst_cluster, busy)`.
+    pub wan_busy: Vec<(usize, usize, SimDuration)>,
+}
+
+impl NetStats {
+    /// Total payload bytes on any layer.
+    pub fn total_payload_bytes(&self) -> u64 {
+        self.intra_payload_bytes + self.inter_payload_bytes
+    }
+
+    /// Total messages on any layer.
+    pub fn total_msgs(&self) -> u64 {
+        self.intra_msgs + self.inter_msgs
+    }
+}
+
+/// Stateful two-layer network; implements [`Network`].
+#[derive(Debug)]
+pub struct TwoLayerNetwork {
+    spec: TwoLayerSpec,
+    out_nic: Vec<LinkState>,
+    in_nic: Vec<LinkState>,
+    gw_lan_in: Vec<LinkState>,
+    gw_lan_out: Vec<LinkState>,
+    /// Per-gateway CPU (processes every message crossing it, both ways).
+    gw_cpu: Vec<LinkState>,
+    /// `wan[src_cluster][dst_cluster]`; diagonal unused.
+    wan: Vec<Vec<LinkState>>,
+    /// Counter feeding the deterministic latency-jitter hash.
+    jitter_seq: u64,
+    stats: NetStats,
+}
+
+/// splitmix64 finalizer — the deterministic jitter hash.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// One LAN hop: serialize out of `out`, traverse latency, then occupy `in_`.
+/// Returns delivery completion time. Uncontended cost: `tx + latency`.
+fn lan_hop(
+    out: &mut LinkState,
+    in_: &mut LinkState,
+    params: &LinkParams,
+    size: u64,
+    ready: SimTime,
+) -> SimTime {
+    let tx = params.tx_time(size);
+    let start = out.acquire(ready, tx, size);
+    let rcv_start = in_.acquire(start + params.latency, tx, size);
+    rcv_start + tx
+}
+
+impl TwoLayerNetwork {
+    /// Builds the network from a spec.
+    pub fn new(spec: TwoLayerSpec) -> Self {
+        let n = spec.topology.nprocs();
+        let c = spec.topology.nclusters();
+        TwoLayerNetwork {
+            out_nic: vec![LinkState::default(); n],
+            in_nic: vec![LinkState::default(); n],
+            gw_lan_in: vec![LinkState::default(); c],
+            gw_lan_out: vec![LinkState::default(); c],
+            gw_cpu: vec![LinkState::default(); c],
+            wan: vec![vec![LinkState::default(); c]; c],
+            jitter_seq: 0,
+            stats: NetStats {
+                inter_msgs_out: vec![0; c],
+                inter_bytes_out: vec![0; c],
+                ..NetStats::default()
+            },
+            spec,
+        }
+    }
+
+    /// The spec this network was built from.
+    pub fn spec(&self) -> &TwoLayerSpec {
+        &self.spec
+    }
+
+    /// A snapshot of the traffic statistics (WAN busy times included).
+    pub fn stats(&self) -> NetStats {
+        let mut s = self.stats.clone();
+        let c = self.spec.topology.nclusters();
+        for a in 0..c {
+            for b in 0..c {
+                if a != b && self.wan[a][b].msgs > 0 {
+                    s.wan_busy.push((a, b, self.wan[a][b].busy));
+                }
+            }
+        }
+        s
+    }
+}
+
+impl Network for TwoLayerNetwork {
+    fn transfer(&mut self, src: ProcId, dst: ProcId, wire_bytes: u64, now: SimTime) -> Transfer {
+        let size = wire_bytes + self.spec.header_bytes;
+        let sender_free = now + self.spec.send_overhead;
+        let ready = sender_free;
+        let cs = self.spec.topology.cluster_of(src);
+        let cd = self.spec.topology.cluster_of(dst);
+        let arrival = if cs == cd {
+            self.stats.intra_msgs += 1;
+            self.stats.intra_payload_bytes += wire_bytes;
+            if src == dst {
+                // Loopback: no NIC traversal, just the software overheads.
+                ready
+            } else {
+                lan_hop(
+                    &mut self.out_nic[src.0],
+                    &mut self.in_nic[dst.0],
+                    &self.spec.intra,
+                    size,
+                    ready,
+                )
+            }
+        } else {
+            self.stats.inter_msgs += 1;
+            self.stats.inter_payload_bytes += wire_bytes;
+            self.stats.inter_wire_bytes += size;
+            self.stats.inter_msgs_out[cs] += 1;
+            self.stats.inter_bytes_out[cs] += wire_bytes;
+            // Hop 1: sender to local gateway over the LAN.
+            let mut at = lan_hop(
+                &mut self.out_nic[src.0],
+                &mut self.gw_lan_in[cs],
+                &self.spec.intra,
+                size,
+                ready,
+            );
+            // Traverse the wide-area route (one hop on the full mesh, more
+            // through a star hub or around a ring). Every gateway the
+            // message touches charges its CPU (FIFO resource: this throttles
+            // each cluster's wide-area message rate), and every hop pays the
+            // link's serialization and latency.
+            let occ = self.spec.gateway_overhead;
+            let tx_wan = self.spec.inter.tx_time(size);
+            let route = self
+                .spec
+                .wan_topology
+                .route(cs, cd, self.spec.topology.nclusters());
+            for hop in route.windows(2) {
+                let (a, b) = (hop[0], hop[1]);
+                let wan_ready = self.gw_cpu[a].acquire(at, occ, size) + occ;
+                let wan_start = self.wan[a][b].acquire(wan_ready, tx_wan, size);
+                let latency = if self.spec.wan_latency_jitter > 0.0 {
+                    self.jitter_seq += 1;
+                    let u = mix64(self.jitter_seq) as f64 / u64::MAX as f64; // [0, 1]
+                    let factor = 1.0 + self.spec.wan_latency_jitter * (2.0 * u - 1.0);
+                    SimDuration::from_nanos(
+                        (self.spec.inter.latency.as_nanos() as f64 * factor).round() as u64,
+                    )
+                } else {
+                    self.spec.inter.latency
+                };
+                at = wan_start + tx_wan + latency;
+            }
+            // The destination gateway's CPU, then the receiver's LAN.
+            let ready3 = self.gw_cpu[cd].acquire(at, occ, size) + occ;
+            lan_hop(
+                &mut self.gw_lan_out[cd],
+                &mut self.in_nic[dst.0],
+                &self.spec.intra,
+                size,
+                ready3,
+            )
+        };
+        Transfer {
+            sender_free,
+            arrival,
+        }
+    }
+
+    fn num_procs(&self) -> usize {
+        self.spec.topology.nprocs()
+    }
+
+    fn recv_overhead(&self, _wire_bytes: u64) -> SimDuration {
+        self.spec.recv_overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_4x8() -> TwoLayerSpec {
+        TwoLayerSpec::new(Topology::symmetric(4, 8)).inter(LinkParams::wide_area(10.0, 1.0))
+    }
+
+    #[test]
+    fn intra_message_cost_is_latency_plus_tx() {
+        let mut net = spec_4x8().build();
+        let t = net.transfer(ProcId(0), ProcId(1), 936, SimTime::ZERO);
+        // size = 936 + 64 = 1000 bytes at 50 MB/s = 20 us tx; + 20 us latency
+        // + 5 us send overhead.
+        let expected = SimDuration::from_micros(5 + 20 + 20);
+        assert_eq!(t.arrival, SimTime::ZERO + expected);
+        assert_eq!(t.sender_free, SimTime::ZERO + SimDuration::from_micros(5));
+    }
+
+    #[test]
+    fn inter_message_pays_wan_latency_and_gateways() {
+        let mut net = spec_4x8().build();
+        let t = net.transfer(ProcId(0), ProcId(8), 936, SimTime::ZERO);
+        // send overhead 5us
+        // LAN hop: 20us tx + 20us lat = 40us
+        // gateway CPU 60us, WAN: 1000 bytes at 1 MB/s = 1000us tx + 10ms lat
+        // gateway CPU 60us, LAN hop 40us
+        let expected_us = 5 + 40 + 60 + 1000 + 10_000 + 60 + 40;
+        assert_eq!(
+            t.arrival,
+            SimTime::ZERO + SimDuration::from_micros(expected_us)
+        );
+    }
+
+    #[test]
+    fn wan_link_contention_serializes() {
+        let mut net = spec_4x8().build();
+        let a = net.transfer(ProcId(0), ProcId(8), 10_000, SimTime::ZERO);
+        let b = net.transfer(ProcId(1), ProcId(9), 10_000, SimTime::ZERO);
+        // Both go over the same cluster0->cluster1 WAN link; the second one's
+        // WAN serialization starts after the first finishes.
+        assert!(b.arrival > a.arrival);
+        let gap = b.arrival.since(a.arrival);
+        // Roughly one WAN serialization time (10064 bytes at 1 MB/s ~ 10 ms).
+        assert!(gap >= SimDuration::from_millis(9), "gap was {gap}");
+    }
+
+    #[test]
+    fn distinct_wan_links_do_not_contend() {
+        let mut net = spec_4x8().build();
+        let a = net.transfer(ProcId(0), ProcId(8), 100_000, SimTime::ZERO);
+        // Different destination cluster: separate link, near-identical timing
+        // (only the shared sender NIC and gateway-in differ).
+        let b = net.transfer(ProcId(1), ProcId(16), 100_000, SimTime::ZERO);
+        let gap = b.arrival.saturating_since(a.arrival);
+        assert!(
+            gap < SimDuration::from_millis(5),
+            "independent WAN links should not serialize each other, gap {gap}"
+        );
+    }
+
+    #[test]
+    fn sender_nic_contention_serializes_sends() {
+        let mut net = TwoLayerSpec::new(Topology::uniform(4)).build();
+        let a = net.transfer(ProcId(0), ProcId(1), 1_000_000, SimTime::ZERO);
+        let b = net.transfer(ProcId(0), ProcId(2), 1_000_000, SimTime::ZERO);
+        // 1 MB at 50 MB/s = 20 ms serialization each, shared out-NIC.
+        assert!(b.arrival.since(a.arrival) >= SimDuration::from_millis(19));
+    }
+
+    #[test]
+    fn loopback_is_cheap() {
+        let mut net = spec_4x8().build();
+        let t = net.transfer(ProcId(3), ProcId(3), 1_000_000, SimTime::ZERO);
+        assert_eq!(t.arrival, SimTime::ZERO + SimDuration::from_micros(5));
+    }
+
+    #[test]
+    fn stats_classify_layers() {
+        let mut net = spec_4x8().build();
+        net.transfer(ProcId(0), ProcId(1), 100, SimTime::ZERO);
+        net.transfer(ProcId(0), ProcId(8), 200, SimTime::ZERO);
+        net.transfer(ProcId(9), ProcId(0), 300, SimTime::ZERO);
+        let s = net.stats();
+        assert_eq!(s.intra_msgs, 1);
+        assert_eq!(s.intra_payload_bytes, 100);
+        assert_eq!(s.inter_msgs, 2);
+        assert_eq!(s.inter_payload_bytes, 500);
+        assert_eq!(s.inter_msgs_out, vec![1, 1, 0, 0]);
+        assert_eq!(s.inter_bytes_out, vec![200, 300, 0, 0]);
+        assert_eq!(s.wan_busy.len(), 2);
+        assert_eq!(s.total_msgs(), 3);
+        assert_eq!(s.total_payload_bytes(), 600);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let spec = || {
+            TwoLayerSpec::new(Topology::symmetric(2, 2))
+                .inter(LinkParams::wide_area(10.0, 100.0))
+                .wan_latency_jitter(0.5)
+        };
+        let run = || {
+            let mut net = spec().build();
+            (0..50)
+                .map(|i| {
+                    net.transfer(ProcId(0), ProcId(2), 8, SimTime::from_nanos(i * 1_000_000))
+                        .arrival
+                        .as_nanos()
+                })
+                .collect::<Vec<u64>>()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "jitter must be deterministic");
+        // Latencies vary but stay within +-50% of 10ms (plus small fixed costs).
+        let mut distinct = a.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() > 40, "jitter should actually vary");
+    }
+
+    #[test]
+    fn zero_jitter_matches_fixed_latency() {
+        let base = TwoLayerSpec::new(Topology::symmetric(2, 2));
+        let jittered = base.clone().wan_latency_jitter(0.0);
+        let a = base.build().transfer(ProcId(0), ProcId(2), 100, SimTime::ZERO);
+        let b = jittered.build().transfer(ProcId(0), ProcId(2), 100, SimTime::ZERO);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter fraction")]
+    fn jitter_bounds_are_checked() {
+        let _ = TwoLayerSpec::new(Topology::symmetric(2, 2)).wan_latency_jitter(1.5);
+    }
+
+    #[test]
+    fn arrival_never_precedes_departure() {
+        let mut net = spec_4x8().build();
+        for i in 0..32 {
+            let t = net.transfer(
+                ProcId(i % 32),
+                ProcId((i * 7 + 3) % 32),
+                (i as u64 + 1) * 123,
+                SimTime::from_nanos(i as u64 * 1000),
+            );
+            assert!(t.arrival >= SimTime::from_nanos(i as u64 * 1000));
+            assert!(t.sender_free >= SimTime::from_nanos(i as u64 * 1000));
+        }
+    }
+}
+
+#[cfg(test)]
+mod wan_topology_tests {
+    use super::*;
+    use crate::wan::WanTopology;
+
+    fn spec(topology: WanTopology) -> TwoLayerSpec {
+        TwoLayerSpec::new(Topology::symmetric(4, 2))
+            .inter(LinkParams::wide_area(10.0, 1.0))
+            .wan_topology(topology)
+    }
+
+    #[test]
+    fn star_pays_two_hops_between_spokes() {
+        let mut mesh = spec(WanTopology::FullMesh).build();
+        let mut star = spec(WanTopology::Star { hub: 0 }).build();
+        // Cluster 1 (rank 2) to cluster 3 (rank 6): spoke to spoke.
+        let direct = mesh.transfer(ProcId(2), ProcId(6), 1000, SimTime::ZERO);
+        let via_hub = star.transfer(ProcId(2), ProcId(6), 1000, SimTime::ZERO);
+        let gap = via_hub.arrival.since(direct.arrival);
+        // One extra WAN hop: >= one extra latency (10 ms).
+        assert!(gap >= SimDuration::from_millis(10), "gap {gap}");
+    }
+
+    #[test]
+    fn star_hub_reaches_spokes_directly() {
+        let mut mesh = spec(WanTopology::FullMesh).build();
+        let mut star = spec(WanTopology::Star { hub: 0 }).build();
+        let a = mesh.transfer(ProcId(0), ProcId(6), 500, SimTime::ZERO);
+        let b = star.transfer(ProcId(0), ProcId(6), 500, SimTime::ZERO);
+        assert_eq!(a.arrival, b.arrival);
+    }
+
+    #[test]
+    fn ring_cost_grows_with_cluster_distance() {
+        let mut ring = spec(WanTopology::Ring).build();
+        let near = ring.transfer(ProcId(0), ProcId(2), 100, SimTime::ZERO); // cluster 1
+        let far = ring.transfer(ProcId(0), ProcId(4), 100, SimTime::ZERO); // cluster 2 (2 hops)
+        assert!(far.arrival.since(SimTime::ZERO) > near.arrival.since(SimTime::ZERO));
+    }
+
+    #[test]
+    fn star_hub_gateway_is_the_bottleneck() {
+        // Many spoke-to-spoke messages: on the star they all serialize on
+        // the hub's gateway CPU; on the mesh they use disjoint links.
+        let run = |topology: WanTopology| {
+            let mut net = spec(topology).build();
+            let mut last = SimTime::ZERO;
+            for i in 0..20u64 {
+                // cluster 1 -> cluster 3 and cluster 2 -> cluster 3 etc.
+                let src = ProcId(2 + (i % 2) as usize * 2); // ranks 2 or 4
+                let t = net.transfer(src, ProcId(6), 100, SimTime::ZERO);
+                last = last.max(t.arrival);
+            }
+            last
+        };
+        let mesh_last = run(WanTopology::FullMesh);
+        let star_last = run(WanTopology::Star { hub: 0 });
+        assert!(star_last > mesh_last, "{star_last} vs {mesh_last}");
+    }
+}
+
+#[cfg(test)]
+mod validation_tests {
+    use super::*;
+
+    /// The paper: "the bandwidth limit in this case is 18 MByte/s per
+    /// cluster, since with 4 clusters there are 3 links of 6 MByte/s out of
+    /// each cluster". Blast traffic from cluster 0 to all three remote
+    /// clusters and check the aggregate throughput approaches that cap.
+    #[test]
+    fn aggregate_cluster_egress_is_links_times_bandwidth() {
+        let spec = TwoLayerSpec::new(Topology::symmetric(4, 8))
+            .inter(LinkParams::wide_area(0.5, 6.0));
+        let mut net = spec.build();
+        // 8 senders x 30 messages x 100 KB, round-robin over remote ranks.
+        let msg_bytes: u64 = 100_000;
+        let mut last_arrival = SimTime::ZERO;
+        let mut total: u64 = 0;
+        for round in 0..30u64 {
+            for src in 0..8usize {
+                let dst = 8 + ((src + round as usize) % 24);
+                let t = net.transfer(ProcId(src), ProcId(dst), msg_bytes, SimTime::ZERO);
+                last_arrival = last_arrival.max(t.arrival);
+                total += msg_bytes;
+            }
+        }
+        let secs = last_arrival.as_secs_f64();
+        let mbs = total as f64 / 1e6 / secs;
+        assert!(
+            mbs > 18.0 * 0.75 && mbs < 18.0 * 1.05,
+            "aggregate egress {mbs:.1} MB/s should approach the 18 MB/s cap"
+        );
+    }
+
+    /// A single WAN link never exceeds its configured bandwidth.
+    #[test]
+    fn single_link_respects_bandwidth() {
+        let spec = TwoLayerSpec::new(Topology::symmetric(2, 4))
+            .inter(LinkParams::wide_area(0.5, 2.0));
+        let mut net = spec.build();
+        let msg_bytes: u64 = 50_000;
+        let mut last = SimTime::ZERO;
+        let mut total = 0u64;
+        for i in 0..40u64 {
+            let t = net.transfer(
+                ProcId((i % 4) as usize),
+                ProcId(4 + (i % 4) as usize),
+                msg_bytes,
+                SimTime::ZERO,
+            );
+            last = last.max(t.arrival);
+            total += msg_bytes;
+        }
+        let mbs = total as f64 / 1e6 / last.as_secs_f64();
+        assert!(mbs < 2.05, "link throughput {mbs:.2} exceeds 2 MB/s");
+        assert!(mbs > 1.5, "link should be near saturation, got {mbs:.2}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Wide-area topology variants.
+//!
+//! The DAS wide-area network was fully connected, which the paper notes is
+//! why more/smaller clusters *gained* bisection bandwidth: "In a larger
+//! system it is likely that the topology is less perfect. This effect will
+//! then diminish, and disappear in star, ring, or bus topologies." This
+//! module provides those less-perfect topologies so that claim can be
+//! tested: inter-cluster messages are routed over one or more wide-area
+//! hops, passing through every intermediate cluster's gateway.
+
+use serde::{Deserialize, Serialize};
+
+/// How the clusters' gateways are wired together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum WanTopology {
+    /// Every cluster pair has a dedicated link (the DAS; the default).
+    #[default]
+    FullMesh,
+    /// All traffic passes through a hub cluster's gateway (a star). Links
+    /// exist only between the hub and each other cluster.
+    Star {
+        /// The hub cluster index.
+        hub: usize,
+    },
+    /// Clusters form a ring; messages travel the shorter way around.
+    Ring,
+}
+
+impl WanTopology {
+    /// The sequence of clusters a message from `src` to `dst` visits,
+    /// inclusive of both endpoints. `src != dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst`, either index is out of range, or a star hub
+    /// is out of range.
+    pub fn route(&self, src: usize, dst: usize, nclusters: usize) -> Vec<usize> {
+        assert!(src != dst, "route requires distinct clusters");
+        assert!(
+            src < nclusters && dst < nclusters,
+            "cluster index out of range"
+        );
+        match self {
+            WanTopology::FullMesh => vec![src, dst],
+            WanTopology::Star { hub } => {
+                assert!(*hub < nclusters, "star hub {hub} out of range");
+                if src == *hub || dst == *hub {
+                    vec![src, dst]
+                } else {
+                    vec![src, *hub, dst]
+                }
+            }
+            WanTopology::Ring => {
+                let forward = (dst + nclusters - src) % nclusters;
+                let backward = nclusters - forward;
+                let mut path = vec![src];
+                let mut at = src;
+                if forward <= backward {
+                    while at != dst {
+                        at = (at + 1) % nclusters;
+                        path.push(at);
+                    }
+                } else {
+                    while at != dst {
+                        at = (at + nclusters - 1) % nclusters;
+                        path.push(at);
+                    }
+                }
+                path
+            }
+        }
+    }
+
+    /// Number of wide-area hops between two clusters.
+    pub fn hops(&self, src: usize, dst: usize, nclusters: usize) -> usize {
+        self.route(src, dst, nclusters).len() - 1
+    }
+
+    /// Human-readable name.
+    pub fn label(&self) -> String {
+        match self {
+            WanTopology::FullMesh => "full-mesh".to_string(),
+            WanTopology::Star { hub } => format!("star(hub={hub})"),
+            WanTopology::Ring => "ring".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_mesh_is_single_hop() {
+        let t = WanTopology::FullMesh;
+        for a in 0..4 {
+            for b in 0..4 {
+                if a != b {
+                    assert_eq!(t.route(a, b, 4), vec![a, b]);
+                    assert_eq!(t.hops(a, b, 4), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn star_routes_via_hub() {
+        let t = WanTopology::Star {
+            hub: 0,
+        };
+        assert_eq!(t.route(1, 3, 4), vec![1, 0, 3]);
+        assert_eq!(t.route(0, 2, 4), vec![0, 2]);
+        assert_eq!(t.route(2, 0, 4), vec![2, 0]);
+        assert_eq!(t.hops(1, 2, 4), 2);
+    }
+
+    #[test]
+    fn ring_takes_the_short_way() {
+        let t = WanTopology::Ring;
+        assert_eq!(t.route(0, 1, 6), vec![0, 1]);
+        assert_eq!(t.route(0, 5, 6), vec![0, 5], "backward is shorter");
+        assert_eq!(t.route(0, 2, 6), vec![0, 1, 2]);
+        assert_eq!(t.route(4, 1, 6), vec![4, 5, 0, 1]);
+        assert_eq!(t.hops(0, 3, 6), 3, "antipodal distance");
+    }
+
+    #[test]
+    fn ring_of_two_is_direct() {
+        let t = WanTopology::Ring;
+        assert_eq!(t.route(0, 1, 2), vec![0, 1]);
+        assert_eq!(t.route(1, 0, 2), vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct clusters")]
+    fn route_rejects_self() {
+        let _ = WanTopology::FullMesh.route(1, 1, 4);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(WanTopology::FullMesh.label(), "full-mesh");
+        assert_eq!(WanTopology::Star { hub: 2 }.label(), "star(hub=2)");
+        assert_eq!(WanTopology::Ring.label(), "ring");
+    }
+}

@@ -1,0 +1,426 @@
+//! Tree communication building blocks: binomial broadcast and reduce over
+//! arbitrary rank groups, plus flat (topology-oblivious) and cluster-aware
+//! (two-level) compositions.
+//!
+//! The *flat* variants are what a uniform-network runtime uses; the *aware*
+//! variants cross each wide-area link at most once per operation — the core
+//! idea behind both the paper's hand optimizations and MagPIe.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use numagap_sim::{Payload, Tag};
+
+use crate::ctx::Ctx;
+
+/// Payload-level binomial broadcast over `group` (a list of ranks), rooted at
+/// position `root_pos`. Root passes `Some(payload)`, everyone else `None`.
+/// Returns the payload at every member.
+///
+/// # Panics
+///
+/// Panics if the caller is not in `group`, or if the root does not supply a
+/// payload.
+pub fn bcast_group_payload(
+    ctx: &mut Ctx,
+    group: &[usize],
+    root_pos: usize,
+    tag: Tag,
+    payload: Option<Payload>,
+    wire_bytes: u64,
+) -> Payload {
+    let p = group.len();
+    assert!(root_pos < p, "root position {root_pos} out of group");
+    let me_pos = group
+        .iter()
+        .position(|&r| r == ctx.rank())
+        .expect("bcast caller must be a member of the group");
+    let rel = (me_pos + p - root_pos) % p;
+    let mut mask = 1usize;
+    // Interior nodes forward with the wire size the message actually had,
+    // not the (root-only) caller-declared size.
+    let mut forward_bytes = wire_bytes;
+    let payload = if rel == 0 {
+        let payload = payload.expect("broadcast root must supply a payload");
+        while mask < p {
+            mask <<= 1;
+        }
+        payload
+    } else {
+        loop {
+            if rel & mask != 0 {
+                let parent_rel = rel ^ mask;
+                let parent = group[(parent_rel + root_pos) % p];
+                let msg = ctx.recv_from(parent, tag);
+                forward_bytes = msg.wire_bytes;
+                break msg.payload;
+            }
+            mask <<= 1;
+        }
+    };
+    let mut m = mask >> 1;
+    while m > 0 {
+        if rel + m < p {
+            let child = group[(rel + m + root_pos) % p];
+            ctx.send_payload(child, tag, Arc::clone(&payload), forward_bytes);
+        }
+        m >>= 1;
+    }
+    payload
+}
+
+/// Typed binomial broadcast over a rank group. See [`bcast_group_payload`].
+pub fn bcast_group<T: Any + Send + Sync + Clone>(
+    ctx: &mut Ctx,
+    group: &[usize],
+    root_pos: usize,
+    tag: Tag,
+    data: Option<T>,
+    wire_bytes: u64,
+) -> T {
+    let payload = bcast_group_payload(
+        ctx,
+        group,
+        root_pos,
+        tag,
+        data.map(|d| Arc::new(d) as Payload),
+        wire_bytes,
+    );
+    payload
+        .downcast_ref::<T>()
+        .expect("broadcast payload type mismatch")
+        .clone()
+}
+
+/// Binomial reduce over a rank group with a commutative-associative `op`.
+/// Returns `Some(total)` at the root position, `None` elsewhere.
+///
+/// # Panics
+///
+/// Panics if the caller is not in `group`.
+pub fn reduce_group<T, F>(
+    ctx: &mut Ctx,
+    group: &[usize],
+    root_pos: usize,
+    tag: Tag,
+    contrib: T,
+    op: F,
+    wire_bytes: u64,
+) -> Option<T>
+where
+    T: Any + Send + Sync + Clone,
+    F: Fn(&T, &T) -> T,
+{
+    let p = group.len();
+    assert!(root_pos < p, "root position {root_pos} out of group");
+    let me_pos = group
+        .iter()
+        .position(|&r| r == ctx.rank())
+        .expect("reduce caller must be a member of the group");
+    let rel = (me_pos + p - root_pos) % p;
+    let mut acc = contrib;
+    let mut mask = 1usize;
+    while mask < p {
+        if rel & mask == 0 {
+            let src_rel = rel | mask;
+            if src_rel < p {
+                let src = group[(src_rel + root_pos) % p];
+                let m = ctx.recv_from(src, tag);
+                acc = op(&acc, m.expect_ref::<T>());
+            }
+        } else {
+            let dst_rel = rel ^ mask;
+            let dst = group[(dst_rel + root_pos) % p];
+            ctx.send(dst, tag, acc, wire_bytes);
+            return None;
+        }
+        mask <<= 1;
+    }
+    Some(acc)
+}
+
+/// Flat (topology-oblivious) broadcast over all ranks, rooted at rank `root`.
+/// This is what a runtime written for a uniform interconnect does; on a
+/// two-layer machine the binomial tree crosses wide-area links many times.
+pub fn bcast_flat<T: Any + Send + Sync + Clone>(
+    ctx: &mut Ctx,
+    root: usize,
+    tag: Tag,
+    data: Option<T>,
+    wire_bytes: u64,
+) -> T {
+    let group: Vec<usize> = (0..ctx.nprocs()).collect();
+    bcast_group(ctx, &group, root, tag, data, wire_bytes)
+}
+
+/// Flat reduce over all ranks to rank `root`.
+pub fn reduce_flat<T, F>(
+    ctx: &mut Ctx,
+    root: usize,
+    tag: Tag,
+    contrib: T,
+    op: F,
+    wire_bytes: u64,
+) -> Option<T>
+where
+    T: Any + Send + Sync + Clone,
+    F: Fn(&T, &T) -> T,
+{
+    let group: Vec<usize> = (0..ctx.nprocs()).collect();
+    reduce_group(ctx, &group, root, tag, contrib, op, wire_bytes)
+}
+
+/// Cluster-aware broadcast: the root sends once to each remote cluster's
+/// entry rank over the wide area, and each cluster fans out over its fast
+/// local links — every WAN link carries the payload exactly once.
+pub fn bcast_aware<T: Any + Send + Sync + Clone>(
+    ctx: &mut Ctx,
+    root: usize,
+    tag: Tag,
+    data: Option<T>,
+    wire_bytes: u64,
+) -> T {
+    let topo = ctx.topology().clone();
+    let my_cluster = ctx.cluster();
+    let root_cluster = topo.cluster_of_rank(root);
+    let entry = if my_cluster == root_cluster {
+        root
+    } else {
+        topo.cluster_root(my_cluster)
+    };
+    let me = ctx.rank();
+    let mut forward_bytes = wire_bytes;
+    let payload: Option<Payload> = if me == root {
+        let payload: Payload = Arc::new(data.expect("broadcast root must supply data"));
+        for c in 0..topo.nclusters() {
+            if c != root_cluster {
+                ctx.send_payload(topo.cluster_root(c), tag, Arc::clone(&payload), wire_bytes);
+            }
+        }
+        Some(payload)
+    } else if me == entry {
+        let msg = ctx.recv_from(root, tag);
+        forward_bytes = msg.wire_bytes;
+        Some(msg.payload)
+    } else {
+        None
+    };
+    let members = topo.members(my_cluster).to_vec();
+    let root_pos = members
+        .iter()
+        .position(|&r| r == entry)
+        .expect("cluster entry must be a member");
+    let payload = bcast_group_payload(ctx, &members, root_pos, tag, payload, forward_bytes);
+    payload
+        .downcast_ref::<T>()
+        .expect("broadcast payload type mismatch")
+        .clone()
+}
+
+/// Cluster-aware reduce: each cluster reduces locally to its entry rank, and
+/// the entries' partial results cross the wide area once each.
+pub fn reduce_aware<T, F>(
+    ctx: &mut Ctx,
+    root: usize,
+    tag: Tag,
+    contrib: T,
+    op: F,
+    wire_bytes: u64,
+) -> Option<T>
+where
+    T: Any + Send + Sync + Clone,
+    F: Fn(&T, &T) -> T,
+{
+    let topo = ctx.topology().clone();
+    let my_cluster = ctx.cluster();
+    let root_cluster = topo.cluster_of_rank(root);
+    let entry = if my_cluster == root_cluster {
+        root
+    } else {
+        topo.cluster_root(my_cluster)
+    };
+    let members = topo.members(my_cluster).to_vec();
+    let root_pos = members
+        .iter()
+        .position(|&r| r == entry)
+        .expect("cluster entry must be a member");
+    let partial = reduce_group(ctx, &members, root_pos, tag, contrib, &op, wire_bytes);
+    let me = ctx.rank();
+    if me == root {
+        let mut acc = partial.expect("root holds its cluster's partial");
+        for c in 0..topo.nclusters() {
+            if c != root_cluster {
+                let m = ctx.recv_from(topo.cluster_root(c), tag);
+                acc = op(&acc, m.expect_ref::<T>());
+            }
+        }
+        Some(acc)
+    } else if me == entry {
+        let partial = partial.expect("cluster entry holds the partial");
+        ctx.send(root, tag, partial, wire_bytes);
+        None
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tags::coll_tag;
+    use crate::Machine;
+    use numagap_net::{das_spec, uniform_spec};
+
+    fn sum(a: &u64, b: &u64) -> u64 {
+        a + b
+    }
+
+    #[test]
+    fn flat_bcast_reaches_everyone() {
+        for p in [1usize, 2, 3, 5, 8] {
+            let machine = Machine::new(uniform_spec(p));
+            let report = machine
+                .run(|ctx| {
+                    let data = if ctx.rank() == 0 { Some(7u64) } else { None };
+                    bcast_flat(ctx, 0, coll_tag(0), data, 8)
+                })
+                .unwrap();
+            assert_eq!(report.results, vec![7u64; p]);
+        }
+    }
+
+    #[test]
+    fn flat_bcast_nonzero_root() {
+        let machine = Machine::new(uniform_spec(6));
+        let report = machine
+            .run(|ctx| {
+                let data = if ctx.rank() == 4 { Some(11u64) } else { None };
+                bcast_flat(ctx, 4, coll_tag(1), data, 8)
+            })
+            .unwrap();
+        assert_eq!(report.results, vec![11u64; 6]);
+    }
+
+    #[test]
+    fn flat_reduce_sums() {
+        for p in [1usize, 2, 4, 7] {
+            let machine = Machine::new(uniform_spec(p));
+            let report = machine
+                .run(|ctx| reduce_flat(ctx, 0, coll_tag(2), ctx.rank() as u64, sum, 8))
+                .unwrap();
+            let expected: u64 = (0..p as u64).sum();
+            assert_eq!(report.results[0], Some(expected));
+            for r in &report.results[1..] {
+                assert!(r.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn aware_bcast_crosses_each_wan_link_once() {
+        let machine = Machine::new(das_spec(4, 4, 1.0, 1.0));
+        let report = machine
+            .run(|ctx| {
+                let data = if ctx.rank() == 0 {
+                    Some(vec![1u8; 100])
+                } else {
+                    None
+                };
+                bcast_aware(ctx, 0, coll_tag(3), data, 100)
+            })
+            .unwrap();
+        for r in &report.results {
+            assert_eq!(r.len(), 100);
+        }
+        // Exactly 3 inter-cluster messages: one per remote cluster.
+        assert_eq!(report.net_stats.inter_msgs, 3);
+    }
+
+    #[test]
+    fn flat_bcast_crosses_wan_more_often() {
+        // Note: on power-of-two machines with contiguous clusters a binomial
+        // tree is accidentally near-hierarchical, so use 4 clusters of 3.
+        let run = |aware: bool| {
+            let machine = Machine::new(das_spec(4, 3, 1.0, 1.0));
+            machine
+                .run(move |ctx| {
+                    let data = if ctx.rank() == 0 { Some(0u64) } else { None };
+                    if aware {
+                        bcast_aware(ctx, 0, coll_tag(4), data, 8)
+                    } else {
+                        bcast_flat(ctx, 0, coll_tag(4), data, 8)
+                    }
+                })
+                .unwrap()
+        };
+        let flat = run(false);
+        let aware = run(true);
+        assert_eq!(aware.net_stats.inter_msgs, 3, "one WAN message per remote cluster");
+        assert!(
+            flat.net_stats.inter_msgs > aware.net_stats.inter_msgs,
+            "flat {} vs aware {}",
+            flat.net_stats.inter_msgs,
+            aware.net_stats.inter_msgs
+        );
+        // The flat tree also chains WAN hops (deeper critical path).
+        assert!(flat.elapsed > aware.elapsed);
+    }
+
+    #[test]
+    fn aware_reduce_matches_flat() {
+        let expected: u64 = (0..12u64).map(|r| r * r).sum();
+        for aware in [false, true] {
+            let machine = Machine::new(das_spec(3, 4, 1.0, 1.0));
+            let report = machine
+                .run(move |ctx| {
+                    let contrib = (ctx.rank() * ctx.rank()) as u64;
+                    if aware {
+                        reduce_aware(ctx, 0, coll_tag(5), contrib, sum, 8)
+                    } else {
+                        reduce_flat(ctx, 0, coll_tag(5), contrib, sum, 8)
+                    }
+                })
+                .unwrap();
+            assert_eq!(report.results[0], Some(expected));
+        }
+    }
+
+    #[test]
+    fn aware_reduce_sends_one_partial_per_cluster() {
+        let machine = Machine::new(das_spec(4, 8, 1.0, 1.0));
+        let report = machine
+            .run(|ctx| reduce_aware(ctx, 0, coll_tag(6), 1u64, sum, 8))
+            .unwrap();
+        assert_eq!(report.results[0], Some(32));
+        assert_eq!(report.net_stats.inter_msgs, 3);
+    }
+
+    #[test]
+    fn group_bcast_on_subset() {
+        let machine = Machine::new(uniform_spec(6));
+        let report = machine
+            .run(|ctx| {
+                let group = [1usize, 3, 5];
+                if group.contains(&ctx.rank()) {
+                    let data = if ctx.rank() == 3 { Some(9u8) } else { None };
+                    Some(bcast_group(ctx, &group, 1, coll_tag(7), data, 1))
+                } else {
+                    None
+                }
+            })
+            .unwrap();
+        assert_eq!(
+            report.results,
+            vec![None, Some(9), None, Some(9), None, Some(9)]
+        );
+    }
+
+    #[test]
+    fn reduce_with_nonzero_root() {
+        let machine = Machine::new(das_spec(2, 3, 1.0, 1.0));
+        let report = machine
+            .run(|ctx| reduce_aware(ctx, 4, coll_tag(8), 2u64, sum, 8))
+            .unwrap();
+        assert_eq!(report.results[4], Some(12));
+    }
+}

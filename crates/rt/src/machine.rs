@@ -1,0 +1,327 @@
+//! The simulated parallel machine: spawn-per-rank execution and reporting.
+
+use std::sync::Arc;
+
+use numagap_net::{NetStats, TwoLayerNetwork, TwoLayerSpec};
+use numagap_sim::{KernelStats, ProcStats, Sim, SimDuration, SimError, SimTime, TraceLog};
+
+use crate::ctx::Ctx;
+
+/// A configured two-layer machine on which SPMD programs run.
+///
+/// # Examples
+///
+/// ```
+/// use numagap_rt::Machine;
+/// use numagap_net::das_spec;
+///
+/// let machine = Machine::new(das_spec(2, 2, 1.0, 1.0));
+/// let report = machine.run(|ctx| ctx.rank() * 2).unwrap();
+/// assert_eq!(report.results, vec![0, 2, 4, 6]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    spec: TwoLayerSpec,
+    time_limit: Option<SimDuration>,
+    tracing: bool,
+}
+
+impl Machine {
+    /// Creates a machine from an interconnect spec.
+    pub fn new(spec: TwoLayerSpec) -> Self {
+        Machine {
+            spec,
+            time_limit: None,
+            tracing: false,
+        }
+    }
+
+    /// Records an execution trace during runs; retrieve it from
+    /// [`RunReport::trace`] and render with
+    /// [`TraceLog::to_chrome_json`].
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
+
+    /// Aborts runs whose virtual time exceeds `limit`.
+    pub fn time_limit(mut self, limit: SimDuration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// The interconnect spec of this machine.
+    pub fn spec(&self) -> &TwoLayerSpec {
+        &self.spec
+    }
+
+    /// Runs `entry` as an SPMD program: one process per rank, all executing
+    /// the same function.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures: deadlock, virtual time limit, or a
+    /// panic inside a simulated process.
+    pub fn run<T, F>(&self, entry: F) -> Result<RunReport<T>, SimError>
+    where
+        F: Fn(&mut Ctx) -> T + Send + Sync + 'static,
+        T: Send + 'static,
+    {
+        let net = TwoLayerNetwork::new(self.spec.clone());
+        let mut sim = Sim::new(net);
+        if let Some(limit) = self.time_limit {
+            sim.time_limit(SimTime::ZERO + limit);
+        }
+        if self.tracing {
+            sim.enable_tracing();
+        }
+        let topo = Arc::new(self.spec.topology.clone());
+        let entry = Arc::new(entry);
+        for _rank in 0..self.spec.topology.nprocs() {
+            let entry = Arc::clone(&entry);
+            let topo = Arc::clone(&topo);
+            sim.spawn(move |pctx| {
+                let mut ctx = Ctx::new(pctx, topo);
+                entry(&mut ctx)
+            });
+        }
+        let out = sim.run()?;
+        let net_stats = out.network.stats();
+        let results = out
+            .results
+            .into_iter()
+            .map(|r| {
+                *r.downcast::<T>()
+                    .expect("machine entry result type mismatch")
+            })
+            .collect();
+        Ok(RunReport {
+            elapsed: out.elapsed,
+            results,
+            proc_stats: out.proc_stats,
+            kernel_stats: out.kernel_stats,
+            net_stats,
+            trace: out.trace,
+            spec: self.spec.clone(),
+        })
+    }
+}
+
+/// Everything measured during one machine run.
+#[derive(Debug, Clone)]
+pub struct RunReport<T> {
+    /// Virtual makespan.
+    pub elapsed: SimDuration,
+    /// Per-rank results of the entry function.
+    pub results: Vec<T>,
+    /// Per-rank kernel accounting.
+    pub proc_stats: Vec<ProcStats>,
+    /// Whole-run kernel accounting.
+    pub kernel_stats: KernelStats,
+    /// Traffic statistics from the network model.
+    pub net_stats: NetStats,
+    /// The execution trace, when the machine was built
+    /// [`Machine::with_tracing`].
+    pub trace: Option<TraceLog>,
+    /// The spec the machine ran with.
+    pub spec: TwoLayerSpec,
+}
+
+impl<T> RunReport<T> {
+    /// Aggregate inter-cluster payload volume in MByte/s averaged over the
+    /// run, per cluster (the y-axis of the paper's Figure 1).
+    pub fn inter_mbytes_per_sec_per_cluster(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        let clusters = self.spec.topology.nclusters() as f64;
+        if secs == 0.0 || clusters == 0.0 {
+            return 0.0;
+        }
+        (self.net_stats.inter_payload_bytes as f64 / 1e6) / secs / clusters
+    }
+
+    /// Outgoing inter-cluster messages per second per cluster (the x-axis of
+    /// the paper's Figure 1).
+    pub fn inter_msgs_per_sec_per_cluster(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        let clusters = self.spec.topology.nclusters() as f64;
+        if secs == 0.0 || clusters == 0.0 {
+            return 0.0;
+        }
+        self.net_stats.inter_msgs as f64 / secs / clusters
+    }
+
+    /// Total traffic (all layers) in MByte/s across the whole machine — the
+    /// "Total Traffic" column of the paper's Table 1.
+    pub fn total_mbytes_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.net_stats.total_payload_bytes() as f64 / 1e6 / secs
+    }
+
+    /// Per-rank CPU utilization: fraction of the makespan spent computing
+    /// (software send/receive overheads count as CPU work).
+    pub fn utilization(&self) -> Vec<f64> {
+        let total = self.elapsed.as_secs_f64();
+        if total == 0.0 {
+            return vec![0.0; self.proc_stats.len()];
+        }
+        self.proc_stats
+            .iter()
+            .map(|s| {
+                (s.compute + s.send_overhead + s.recv_overhead).as_secs_f64() / total
+            })
+            .collect()
+    }
+
+    /// Busy fraction of each wide-area link over the makespan:
+    /// `(src_cluster, dst_cluster, utilization)`.
+    pub fn wan_utilization(&self) -> Vec<(usize, usize, f64)> {
+        let total = self.elapsed.as_secs_f64();
+        self.net_stats
+            .wan_busy
+            .iter()
+            .map(|(a, b, busy)| {
+                let u = if total == 0.0 {
+                    0.0
+                } else {
+                    busy.as_secs_f64() / total
+                };
+                (*a, *b, u)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numagap_net::{das_spec, uniform_spec};
+    use numagap_sim::Tag;
+
+    #[test]
+    fn spmd_results_in_rank_order() {
+        let machine = Machine::new(uniform_spec(5));
+        let report = machine.run(|ctx| ctx.rank() as u64).unwrap();
+        assert_eq!(report.results, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn traffic_rates_are_reported() {
+        let machine = Machine::new(das_spec(2, 2, 1.0, 1.0));
+        let report = machine
+            .run(|ctx| {
+                if ctx.rank() == 0 {
+                    // one intra (to 1) and one inter (to 2) message
+                    ctx.send(1, Tag::app(0), (), 1000);
+                    ctx.send(2, Tag::app(0), (), 1000);
+                }
+                if ctx.rank() == 1 || ctx.rank() == 2 {
+                    ctx.recv_tag(Tag::app(0));
+                }
+            })
+            .unwrap();
+        assert_eq!(report.net_stats.intra_msgs, 1);
+        assert_eq!(report.net_stats.inter_msgs, 1);
+        assert!(report.inter_mbytes_per_sec_per_cluster() > 0.0);
+        assert!(report.inter_msgs_per_sec_per_cluster() > 0.0);
+        assert!(report.total_mbytes_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn utilization_reports() {
+        let machine = Machine::new(das_spec(2, 1, 1.0, 1.0));
+        let report = machine
+            .run(|ctx| {
+                if ctx.rank() == 0 {
+                    ctx.compute(SimDuration::from_millis(10));
+                    ctx.send(1, Tag::app(0), (), 100);
+                }
+                if ctx.rank() == 1 {
+                    ctx.recv_tag(Tag::app(0));
+                }
+            })
+            .unwrap();
+        let util = report.utilization();
+        assert_eq!(util.len(), 2);
+        assert!(util[0] > 0.5, "rank 0 mostly computes: {util:?}");
+        assert!(util[1] < 0.5, "rank 1 mostly waits: {util:?}");
+        let wan = report.wan_utilization();
+        assert_eq!(wan.len(), 1, "one WAN link carried traffic");
+        assert!(wan[0].2 > 0.0 && wan[0].2 <= 1.0);
+    }
+
+    #[test]
+    fn tracing_records_activity() {
+        let machine = Machine::new(das_spec(2, 2, 1.0, 1.0)).with_tracing();
+        let report = machine
+            .run(|ctx| {
+                if ctx.rank() == 0 {
+                    ctx.compute(SimDuration::from_millis(2));
+                    ctx.send(3, Tag::app(0), 7u8, 1);
+                }
+                if ctx.rank() == 3 {
+                    ctx.recv_tag(Tag::app(0));
+                }
+            })
+            .unwrap();
+        let trace = report.trace.expect("trace enabled");
+        assert_eq!(trace.message_count(), 1);
+        assert_eq!(
+            trace.compute_time_of(0),
+            SimDuration::from_millis(2),
+            "trace must reconcile with accounting"
+        );
+        let json = trace.to_chrome_json();
+        assert!(json.contains("\"ph\":\"s\""));
+        // Untracked runs carry no trace.
+        let untraced = Machine::new(das_spec(2, 2, 1.0, 1.0))
+            .run(|_| ())
+            .unwrap();
+        assert!(untraced.trace.is_none());
+    }
+
+    #[test]
+    fn time_limit_propagates() {
+        let machine =
+            Machine::new(uniform_spec(1)).time_limit(SimDuration::from_millis(1));
+        let err = machine
+            .run(|ctx| loop {
+                ctx.compute(SimDuration::from_secs(1));
+            })
+            .unwrap_err();
+        assert!(matches!(err, SimError::TimeLimit { .. }));
+    }
+
+    #[test]
+    fn determinism_bit_for_bit() {
+        let run = || {
+            let machine = Machine::new(das_spec(2, 4, 5.0, 0.5));
+            machine
+                .run(|ctx| {
+                    let n = ctx.nprocs();
+                    let me = ctx.rank();
+                    // Everyone sends to everyone; a little compute in between.
+                    for d in 0..n {
+                        if d != me {
+                            ctx.send(d, Tag::app(1), me as u64, 128);
+                        }
+                    }
+                    let mut acc = 0u64;
+                    for _ in 0..n - 1 {
+                        let (_, v): (usize, u64) = ctx.recv_typed(Tag::app(1));
+                        acc += v;
+                        ctx.compute(SimDuration::from_micros(50));
+                    }
+                    acc
+                })
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.net_stats.inter_msgs, b.net_stats.inter_msgs);
+    }
+}

@@ -1,0 +1,223 @@
+//! Synchronization primitives: dissemination barrier and sequencer service.
+
+use numagap_sim::{Message, Tag};
+
+use crate::ctx::Ctx;
+use crate::tags::BARRIER_BLOCK;
+
+const GEN_SLOTS: u32 = 1024;
+const MAX_ROUNDS: u32 = 32;
+const MAX_BARRIER_IDS: u32 = 512;
+
+/// A reusable global barrier (dissemination algorithm, `log2(p)` rounds).
+///
+/// Every rank must construct the barrier with the same `id` and call
+/// [`Barrier::wait`] the same number of times. Distinct concurrent barriers
+/// need distinct ids.
+///
+/// # Examples
+///
+/// ```
+/// use numagap_rt::{Machine, Barrier};
+/// use numagap_net::uniform_spec;
+///
+/// let machine = Machine::new(uniform_spec(4));
+/// machine.run(|ctx| {
+///     let mut barrier = Barrier::new(0);
+///     for _ in 0..3 {
+///         barrier.wait(ctx);
+///     }
+/// }).unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct Barrier {
+    id: u32,
+    generation: u64,
+}
+
+impl Barrier {
+    /// Creates barrier `id` (must be `< 512` and identical on every rank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= 512`.
+    pub fn new(id: u32) -> Self {
+        assert!(id < MAX_BARRIER_IDS, "barrier id {id} out of range");
+        Barrier {
+            id,
+            generation: 0,
+        }
+    }
+
+    /// Completed generations so far.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn tag(&self, round: u32) -> Tag {
+        let gen_slot = (self.generation % GEN_SLOTS as u64) as u32;
+        Tag::internal(
+            BARRIER_BLOCK + self.id * GEN_SLOTS * MAX_ROUNDS + gen_slot * MAX_ROUNDS + round,
+        )
+    }
+
+    /// Blocks until every rank has entered this barrier generation.
+    pub fn wait(&mut self, ctx: &mut Ctx) {
+        let p = ctx.nprocs();
+        let me = ctx.rank();
+        let mut round = 0u32;
+        let mut dist = 1usize;
+        while dist < p {
+            let tag = self.tag(round);
+            let to = (me + dist) % p;
+            let from = (me + p - dist % p) % p;
+            ctx.send(to, tag, (), 1);
+            let _ = ctx.recv_from(from, tag);
+            round += 1;
+            dist <<= 1;
+        }
+        self.generation += 1;
+    }
+}
+
+/// Server half of a totally-ordered-broadcast sequencer (as used by the
+/// Orca runtime for ASP's ordered row broadcasts).
+///
+/// The owner answers [`get_seq`] RPCs with consecutive sequence numbers.
+/// Ownership can migrate: the counter is plain state that the application
+/// transfers in a message (the ASP optimization).
+#[derive(Debug, Clone, Default)]
+pub struct SequencerServer {
+    next: u64,
+}
+
+impl SequencerServer {
+    /// A sequencer starting at 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resumes a migrated sequencer at `next`.
+    pub fn resume(next: u64) -> Self {
+        SequencerServer {
+            next,
+        }
+    }
+
+    /// The next sequence number to be issued (for migration).
+    pub fn next_value(&self) -> u64 {
+        self.next
+    }
+
+    /// Issues the next number locally (owner granting itself a number,
+    /// without a message).
+    pub fn issue_local(&mut self) -> u64 {
+        let n = self.next;
+        self.next += 1;
+        n
+    }
+
+    /// Serves one received `get_seq` request message.
+    pub fn serve(&mut self, ctx: &mut Ctx, request: &Message) {
+        let n = self.issue_local();
+        ctx.reply(request, n, 8);
+    }
+}
+
+/// Client half: blocking RPC to the sequencer owner. `service_tag` must be
+/// the tag the owner is serving on.
+pub fn get_seq(ctx: &mut Ctx, owner: usize, service_tag: Tag) -> u64 {
+    ctx.rpc::<(), u64>(owner, service_tag, (), 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tags::service_tag;
+    use crate::Machine;
+    use numagap_net::{das_spec, uniform_spec};
+    use numagap_sim::Filter;
+
+    #[test]
+    fn barrier_synchronizes_uneven_workers() {
+        let machine = Machine::new(uniform_spec(4));
+        let report = machine
+            .run(|ctx| {
+                let mut barrier = Barrier::new(1);
+                // Rank i computes i ms before entering.
+                ctx.compute(numagap_sim::SimDuration::from_millis(ctx.rank() as u64));
+                let entered = ctx.now();
+                barrier.wait(ctx);
+                (entered, ctx.now())
+            })
+            .unwrap();
+        let last_entry = report.results.iter().map(|(e, _)| *e).max().unwrap();
+        let first_exit = report.results.iter().map(|(_, x)| *x).min().unwrap();
+        assert!(
+            first_exit >= last_entry,
+            "no rank may leave before the slowest enters"
+        );
+    }
+
+    #[test]
+    fn repeated_barriers_do_not_cross_talk() {
+        let machine = Machine::new(das_spec(2, 2, 0.5, 6.0));
+        machine
+            .run(|ctx| {
+                let mut barrier = Barrier::new(0);
+                for i in 0..20u64 {
+                    if ctx.rank() == (i as usize) % ctx.nprocs() {
+                        ctx.compute(numagap_sim::SimDuration::from_micros(100));
+                    }
+                    barrier.wait(ctx);
+                }
+                assert_eq!(barrier.generation(), 20);
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn single_process_barrier_is_noop() {
+        let machine = Machine::new(uniform_spec(1));
+        machine
+            .run(|ctx| {
+                let mut barrier = Barrier::new(0);
+                barrier.wait(ctx);
+                barrier.wait(ctx);
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn sequencer_issues_consecutive_numbers() {
+        let machine = Machine::new(uniform_spec(3));
+        let tag = service_tag(7);
+        let report = machine
+            .run(move |ctx| {
+                if ctx.rank() == 0 {
+                    let mut seq = SequencerServer::new();
+                    // Serve 4 requests (2 from each client).
+                    for _ in 0..4 {
+                        let req = ctx.recv(Filter::tag(tag));
+                        seq.serve(ctx, &req);
+                    }
+                    vec![]
+                } else {
+                    vec![get_seq(ctx, 0, tag), get_seq(ctx, 0, tag)]
+                }
+            })
+            .unwrap();
+        let mut all: Vec<u64> = report.results.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sequencer_migration_resumes_counter() {
+        let mut s = SequencerServer::new();
+        assert_eq!(s.issue_local(), 0);
+        assert_eq!(s.issue_local(), 1);
+        let mut moved = SequencerServer::resume(s.next_value());
+        assert_eq!(moved.issue_local(), 2);
+    }
+}

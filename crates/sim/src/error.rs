@@ -1,0 +1,109 @@
+//! Error types for simulation runs.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Why a process was idle when the simulation ground to a halt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaitState {
+    /// Blocked in `recv` with the given human-readable filter description.
+    BlockedInRecv(String),
+    /// Already exited normally.
+    Exited,
+}
+
+impl fmt::Display for WaitState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaitState::BlockedInRecv(filter) => write!(f, "blocked in recv({filter})"),
+            WaitState::Exited => write!(f, "exited"),
+        }
+    }
+}
+
+/// An error that aborted a simulation run.
+#[derive(Debug)]
+pub enum SimError {
+    /// Every live process is blocked in `recv` and no events remain: the
+    /// simulated program has deadlocked. Contains `(rank, wait state)` for
+    /// every process.
+    Deadlock {
+        /// Virtual time at which progress stopped.
+        at: SimTime,
+        /// Per-rank wait state.
+        procs: Vec<(usize, WaitState)>,
+    },
+    /// The configured virtual-time limit was exceeded.
+    TimeLimit {
+        /// The limit that was hit.
+        limit: SimTime,
+    },
+    /// A simulated process panicked; carries the rank and the panic message.
+    ProcessPanicked {
+        /// Rank of the panicking process.
+        rank: usize,
+        /// Rendered panic payload.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { at, procs } => {
+                writeln!(f, "simulation deadlocked at {at}; process states:")?;
+                for (rank, state) in procs {
+                    writeln!(f, "  rank {rank}: {state}")?;
+                }
+                Ok(())
+            }
+            SimError::TimeLimit { limit } => {
+                write!(f, "virtual time limit of {limit} exceeded")
+            }
+            SimError::ProcessPanicked { rank, message } => {
+                write!(f, "simulated process at rank {rank} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlock_display_lists_processes() {
+        let e = SimError::Deadlock {
+            at: SimTime::from_nanos(1_000),
+            procs: vec![
+                (0, WaitState::BlockedInRecv("tag=3".into())),
+                (1, WaitState::Exited),
+            ],
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 0: blocked in recv(tag=3)"));
+        assert!(s.contains("rank 1: exited"));
+    }
+
+    #[test]
+    fn panic_display_carries_message() {
+        let e = SimError::ProcessPanicked {
+            rank: 5,
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains("rank 5"));
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn time_limit_display() {
+        let e = SimError::TimeLimit {
+            limit: SimTime::from_nanos(5),
+        };
+        assert!(e.to_string().contains("limit"));
+    }
+}

@@ -1,0 +1,802 @@
+//! The discrete-event kernel: event queue, process scheduling, delivery.
+//!
+//! Determinism: the kernel processes events in strict `(time, sequence)`
+//! order and runs exactly one process thread at a time, so a run's outcome
+//! depends only on its inputs — never on host thread scheduling. This is
+//! verified by integration tests that compare repeated runs bit-for-bit.
+
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{SimError, WaitState};
+use crate::message::{Filter, Message};
+use crate::network::Network;
+use crate::process::{AbortToken, Grant, ProcCtx, Request};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::TraceLog;
+use crate::ProcId;
+
+/// Per-process accounting collected by the kernel.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProcStats {
+    /// Virtual time spent in `compute`.
+    pub compute: SimDuration,
+    /// Virtual time spent paying sender-side software overhead in `send`.
+    pub send_overhead: SimDuration,
+    /// Virtual time spent paying receiver-side software overhead.
+    pub recv_overhead: SimDuration,
+    /// Virtual time spent blocked in `recv`.
+    pub blocked: SimDuration,
+    /// Messages sent.
+    pub msgs_sent: u64,
+    /// Payload bytes sent (as declared by the sender; excludes headers).
+    pub bytes_sent: u64,
+    /// Messages received by the application (not merely delivered).
+    pub msgs_received: u64,
+    /// Virtual time at which this process exited.
+    pub exit_at: SimTime,
+}
+
+/// Whole-run accounting collected by the kernel.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Total events processed.
+    pub events: u64,
+    /// Total messages transferred.
+    pub messages: u64,
+    /// Total payload bytes transferred.
+    pub bytes: u64,
+}
+
+/// The result of a completed simulation run.
+pub struct RunOutcome<N> {
+    /// Virtual makespan: the latest process exit time.
+    pub elapsed: SimDuration,
+    /// Per-rank results returned by the entry functions, type-erased.
+    pub results: Vec<Box<dyn Any + Send>>,
+    /// Per-rank accounting.
+    pub proc_stats: Vec<ProcStats>,
+    /// Whole-run accounting.
+    pub kernel_stats: KernelStats,
+    /// The network model, returned so callers can read its statistics.
+    pub network: N,
+    /// The execution trace, if tracing was enabled.
+    pub trace: Option<TraceLog>,
+}
+
+impl<N: std::fmt::Debug> std::fmt::Debug for RunOutcome<N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunOutcome")
+            .field("elapsed", &self.elapsed)
+            .field("nprocs", &self.results.len())
+            .field("kernel_stats", &self.kernel_stats)
+            .field("network", &self.network)
+            .finish_non_exhaustive()
+    }
+}
+
+enum EventKind {
+    Wake(ProcId),
+    Deliver(ProcId, Message),
+}
+
+struct EventEntry {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for EventEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for EventEntry {}
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+#[derive(Clone)]
+enum ProcState {
+    /// Waiting for a scheduled `Wake` (start or end of a compute).
+    Idle,
+    /// Blocked in `recv` until a matching message arrives.
+    Blocked(Filter),
+    /// Exited.
+    Done,
+}
+
+struct ProcSlot {
+    req_rx: Receiver<Request>,
+    grant_tx: Sender<Grant>,
+    join: Option<JoinHandle<()>>,
+    mailbox: VecDeque<Message>,
+    state: ProcState,
+    clock: SimTime,
+    block_start: SimTime,
+    stats: ProcStats,
+    result: Option<Box<dyn Any + Send>>,
+}
+
+type Entry = Box<dyn FnOnce(&mut ProcCtx) -> Box<dyn Any + Send> + Send + 'static>;
+
+/// A configured simulation, ready to run.
+///
+/// Spawn one entry function per simulated processor with [`Sim::spawn`], then
+/// call [`Sim::run`].
+///
+/// # Examples
+///
+/// ```
+/// use numagap_sim::{Sim, IdealNetwork, SimDuration};
+///
+/// let mut sim = Sim::new(IdealNetwork::instantaneous(1));
+/// sim.spawn(|ctx| {
+///     ctx.compute(SimDuration::from_millis(5));
+///     ctx.now().as_nanos()
+/// });
+/// let out = sim.run().unwrap();
+/// assert_eq!(out.elapsed, SimDuration::from_millis(5));
+/// ```
+pub struct Sim<N: Network> {
+    net: N,
+    entries: Vec<Entry>,
+    time_limit: Option<SimTime>,
+    stack_size: usize,
+    tracing: bool,
+}
+
+impl<N: Network + std::fmt::Debug> std::fmt::Debug for Sim<N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("network", &self.net)
+            .field("spawned", &self.entries.len())
+            .field("time_limit", &self.time_limit)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<N: Network> Sim<N> {
+    /// Creates a simulation over the given network model.
+    pub fn new(net: N) -> Self {
+        Sim {
+            net,
+            entries: Vec::new(),
+            time_limit: None,
+            stack_size: 8 << 20,
+            tracing: false,
+        }
+    }
+
+    /// Records an execution trace ([`TraceLog`]) during the run; retrieve it
+    /// from [`RunOutcome::trace`]. Off by default.
+    pub fn enable_tracing(&mut self) -> &mut Self {
+        self.tracing = true;
+        self
+    }
+
+    /// Aborts the run with [`SimError::TimeLimit`] if virtual time exceeds
+    /// `limit`.
+    pub fn time_limit(&mut self, limit: SimTime) -> &mut Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Sets the host stack size for process threads (default 8 MiB).
+    pub fn stack_size(&mut self, bytes: usize) -> &mut Self {
+        self.stack_size = bytes;
+        self
+    }
+
+    /// Registers the entry function for the next rank. Ranks are assigned in
+    /// spawn order, starting at 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more processes are spawned than the network has endpoints.
+    pub fn spawn<F, R>(&mut self, f: F) -> ProcId
+    where
+        F: FnOnce(&mut ProcCtx) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        assert!(
+            self.entries.len() < self.net.num_procs(),
+            "cannot spawn more than {} processes on this network",
+            self.net.num_procs()
+        );
+        let id = ProcId(self.entries.len());
+        self.entries
+            .push(Box::new(move |ctx| Box::new(f(ctx)) as Box<dyn Any + Send>));
+        id
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if all live processes are blocked with
+    /// no pending events, [`SimError::TimeLimit`] if the configured limit is
+    /// exceeded, and [`SimError::ProcessPanicked`] if an entry function
+    /// panics.
+    pub fn run(self) -> Result<RunOutcome<N>, SimError> {
+        Kernel::start(self).run()
+    }
+}
+
+struct Kernel<N: Network> {
+    net: N,
+    queue: BinaryHeap<EventEntry>,
+    slots: Vec<ProcSlot>,
+    seq: u64,
+    now: SimTime,
+    live: usize,
+    time_limit: Option<SimTime>,
+    kstats: KernelStats,
+    trace: Option<TraceLog>,
+}
+
+impl<N: Network> Kernel<N> {
+    fn start(sim: Sim<N>) -> Self {
+        let nprocs = sim.entries.len();
+        let mut slots = Vec::with_capacity(nprocs);
+        for (rank, entry) in sim.entries.into_iter().enumerate() {
+            let (req_tx, req_rx) = unbounded::<Request>();
+            let (grant_tx, grant_rx) = unbounded::<Grant>();
+            let join = std::thread::Builder::new()
+                .name(format!("simproc-{rank}"))
+                .stack_size(sim.stack_size)
+                .spawn(move || {
+                    let mut ctx = ProcCtx {
+                        id: ProcId(rank),
+                        nprocs,
+                        now: SimTime::ZERO,
+                        req_tx,
+                        grant_rx,
+                    };
+                    // Wait for the initial wake before running user code.
+                    match ctx.grant_rx.recv() {
+                        Ok(Grant::Proceed(t)) => ctx.now = t,
+                        Ok(Grant::Abort) | Err(_) => std::panic::panic_any(AbortToken),
+                        Ok(_) => unreachable!("initial grant must be a proceed"),
+                    }
+                    let result = entry(&mut ctx);
+                    ctx.finish(result);
+                })
+                .expect("failed to spawn simulated process thread");
+            slots.push(ProcSlot {
+                req_rx,
+                grant_tx,
+                join: Some(join),
+                mailbox: VecDeque::new(),
+                state: ProcState::Idle,
+                clock: SimTime::ZERO,
+                block_start: SimTime::ZERO,
+                stats: ProcStats::default(),
+                result: None,
+            });
+        }
+        let mut kernel = Kernel {
+            net: sim.net,
+            queue: BinaryHeap::new(),
+            slots,
+            seq: 0,
+            now: SimTime::ZERO,
+            live: nprocs,
+            time_limit: sim.time_limit,
+            kstats: KernelStats::default(),
+            trace: sim.tracing.then(TraceLog::default),
+        };
+        for rank in 0..nprocs {
+            kernel.schedule(SimTime::ZERO, EventKind::Wake(ProcId(rank)));
+        }
+        kernel
+    }
+
+    fn schedule(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(EventEntry {
+            time,
+            seq,
+            kind,
+        });
+    }
+
+    fn run(mut self) -> Result<RunOutcome<N>, SimError> {
+        loop {
+            let Some(entry) = self.queue.pop() else {
+                break;
+            };
+            if let Some(limit) = self.time_limit {
+                if entry.time > limit {
+                    self.abort_all();
+                    return Err(SimError::TimeLimit {
+                        limit,
+                    });
+                }
+            }
+            self.now = entry.time;
+            self.kstats.events += 1;
+            match entry.kind {
+                EventKind::Wake(p) => {
+                    let clock = self.slots[p.0].clock.max(self.now);
+                    self.slots[p.0].clock = clock;
+                    if self.slots[p.0]
+                        .grant_tx
+                        .send(Grant::Proceed(clock))
+                        .is_err()
+                    {
+                        return Err(self.harvest_panic(p));
+                    }
+                    self.service(p)?;
+                }
+                EventKind::Deliver(p, msg) => self.deliver(p, msg)?,
+            }
+            if self.live == 0 {
+                break;
+            }
+        }
+        if self.live > 0 {
+            let at = self.now;
+            let procs = self
+                .slots
+                .iter()
+                .enumerate()
+                .map(|(rank, s)| {
+                    let state = match &s.state {
+                        ProcState::Blocked(f) => WaitState::BlockedInRecv(format!(
+                            "src={:?} tag={:?}",
+                            f.src.map(|p| p.0),
+                            f.tag
+                        )),
+                        ProcState::Done => WaitState::Exited,
+                        ProcState::Idle => WaitState::BlockedInRecv("<idle>".into()),
+                    };
+                    (rank, state)
+                })
+                .collect();
+            self.abort_all();
+            return Err(SimError::Deadlock {
+                at,
+                procs,
+            });
+        }
+        // All processes exited; drain threads.
+        for slot in &mut self.slots {
+            if let Some(join) = slot.join.take() {
+                let _ = join.join();
+            }
+        }
+        let elapsed = self
+            .slots
+            .iter()
+            .map(|s| s.stats.exit_at)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            .since(SimTime::ZERO);
+        Ok(RunOutcome {
+            elapsed,
+            results: self
+                .slots
+                .iter_mut()
+                .map(|s| s.result.take().expect("exited process must have a result"))
+                .collect(),
+            proc_stats: self.slots.iter().map(|s| s.stats.clone()).collect(),
+            kernel_stats: self.kstats,
+            network: self.net,
+            trace: self.trace,
+        })
+    }
+
+    /// Services requests from process `p` until it suspends (compute, blocked
+    /// recv) or exits.
+    fn service(&mut self, p: ProcId) -> Result<(), SimError> {
+        loop {
+            let req = match self.slots[p.0].req_rx.recv() {
+                Ok(req) => req,
+                Err(_) => return Err(self.harvest_panic(p)),
+            };
+            match req {
+                Request::Compute(d) => {
+                    let slot = &mut self.slots[p.0];
+                    slot.stats.compute += d;
+                    let start = slot.clock;
+                    slot.clock += d;
+                    slot.state = ProcState::Idle;
+                    let wake_at = slot.clock;
+                    if let Some(trace) = self.trace.as_mut() {
+                        trace.compute(p, start, wake_at);
+                    }
+                    self.schedule(wake_at, EventKind::Wake(p));
+                    return Ok(());
+                }
+                Request::Send {
+                    dst,
+                    tag,
+                    wire_bytes,
+                    payload,
+                } => {
+                    let sent_at = self.slots[p.0].clock;
+                    let transfer = self.net.transfer(p, dst, wire_bytes, sent_at);
+                    debug_assert!(transfer.sender_free >= sent_at);
+                    debug_assert!(transfer.arrival >= sent_at);
+                    {
+                        let slot = &mut self.slots[p.0];
+                        slot.stats.msgs_sent += 1;
+                        slot.stats.bytes_sent += wire_bytes;
+                        slot.stats.send_overhead += transfer.sender_free.since(sent_at);
+                        slot.clock = transfer.sender_free;
+                    }
+                    self.kstats.messages += 1;
+                    self.kstats.bytes += wire_bytes;
+                    if let Some(trace) = self.trace.as_mut() {
+                        trace.message(p, dst, tag, wire_bytes, sent_at, transfer.arrival);
+                    }
+                    let msg = Message {
+                        src: p,
+                        tag,
+                        wire_bytes,
+                        sent_at,
+                        arrived_at: transfer.arrival,
+                        payload,
+                    };
+                    self.schedule(transfer.arrival, EventKind::Deliver(dst, msg));
+                    let clock = self.slots[p.0].clock;
+                    if self.slots[p.0]
+                        .grant_tx
+                        .send(Grant::Proceed(clock))
+                        .is_err()
+                    {
+                        return Err(self.harvest_panic(p));
+                    }
+                }
+                Request::Recv(filter) => {
+                    if let Some(msg) = self.take_from_mailbox(p, &filter) {
+                        let o = self.net_recv_overhead(msg.wire_bytes);
+                        let slot = &mut self.slots[p.0];
+                        slot.clock += o;
+                        slot.stats.recv_overhead += o;
+                        slot.stats.msgs_received += 1;
+                        let clock = slot.clock;
+                        if self.slots[p.0].grant_tx.send(Grant::Msg(clock, msg)).is_err() {
+                            return Err(self.harvest_panic(p));
+                        }
+                    } else {
+                        let slot = &mut self.slots[p.0];
+                        slot.state = ProcState::Blocked(filter);
+                        slot.block_start = slot.clock;
+                        return Ok(());
+                    }
+                }
+                Request::TryRecv(filter) => {
+                    let found = self.take_from_mailbox(p, &filter);
+                    let clock = {
+                        let o = found
+                            .as_ref()
+                            .map(|m| self.net_recv_overhead(m.wire_bytes))
+                            .unwrap_or(SimDuration::ZERO);
+                        let slot = &mut self.slots[p.0];
+                        slot.clock += o;
+                        slot.stats.recv_overhead += o;
+                        if found.is_some() {
+                            slot.stats.msgs_received += 1;
+                        }
+                        slot.clock
+                    };
+                    if self.slots[p.0]
+                        .grant_tx
+                        .send(Grant::TryMsg(clock, found))
+                        .is_err()
+                    {
+                        return Err(self.harvest_panic(p));
+                    }
+                }
+                Request::Exit(result) => {
+                    let slot = &mut self.slots[p.0];
+                    slot.state = ProcState::Done;
+                    slot.result = Some(result);
+                    slot.stats.exit_at = slot.clock;
+                    self.live -= 1;
+                    if let Some(join) = slot.join.take() {
+                        let _ = join.join();
+                    }
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn net_recv_overhead(&self, wire_bytes: u64) -> SimDuration {
+        self.net.recv_overhead(wire_bytes)
+    }
+
+    fn take_from_mailbox(&mut self, p: ProcId, filter: &Filter) -> Option<Message> {
+        let mailbox = &mut self.slots[p.0].mailbox;
+        let idx = mailbox.iter().position(|m| filter.matches(m))?;
+        mailbox.remove(idx)
+    }
+
+    fn deliver(&mut self, p: ProcId, msg: Message) -> Result<(), SimError> {
+        let slot = &mut self.slots[p.0];
+        if matches!(slot.state, ProcState::Done) {
+            // Late message to an exited process: dropped, like a packet to a
+            // closed socket. Apps in this suite never rely on this.
+            return Ok(());
+        }
+        slot.mailbox.push_back(msg);
+        if let ProcState::Blocked(filter) = slot.state.clone() {
+            if let Some(msg) = self.take_from_mailbox(p, &filter) {
+                let o = self.net_recv_overhead(msg.wire_bytes);
+                let slot = &mut self.slots[p.0];
+                let resumed = slot.clock.max(self.now);
+                slot.stats.blocked += resumed.since(slot.block_start);
+                let block_start = slot.block_start;
+                if let Some(trace) = self.trace.as_mut() {
+                    trace.blocked(p, block_start, resumed);
+                }
+                let slot = &mut self.slots[p.0];
+                slot.clock = resumed + o;
+                slot.stats.recv_overhead += o;
+                slot.stats.msgs_received += 1;
+                slot.state = ProcState::Idle;
+                let clock = slot.clock;
+                if self.slots[p.0].grant_tx.send(Grant::Msg(clock, msg)).is_err() {
+                    return Err(self.harvest_panic(p));
+                }
+                self.service(p)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn harvest_panic(&mut self, p: ProcId) -> SimError {
+        let message = match self.slots[p.0].join.take().map(|j| j.join()) {
+            Some(Err(payload)) => {
+                if payload.is::<AbortToken>() {
+                    "aborted by kernel".to_string()
+                } else if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "<non-string panic payload>".to_string()
+                }
+            }
+            _ => "<process hung up without panicking>".to_string(),
+        };
+        self.abort_all();
+        SimError::ProcessPanicked {
+            rank: p.0,
+            message,
+        }
+    }
+
+    fn abort_all(&mut self) {
+        for slot in &mut self.slots {
+            if !matches!(slot.state, ProcState::Done) {
+                let _ = slot.grant_tx.send(Grant::Abort);
+            }
+            if let Some(join) = slot.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Tag;
+    use crate::network::IdealNetwork;
+
+    #[test]
+    fn single_process_compute_advances_time() {
+        let mut sim = Sim::new(IdealNetwork::instantaneous(1));
+        sim.spawn(|ctx| {
+            assert_eq!(ctx.now(), SimTime::ZERO);
+            ctx.compute(SimDuration::from_micros(7));
+            assert_eq!(ctx.now(), SimTime::ZERO + SimDuration::from_micros(7));
+        });
+        let out = sim.run().unwrap();
+        assert_eq!(out.elapsed, SimDuration::from_micros(7));
+        assert_eq!(out.proc_stats[0].compute, SimDuration::from_micros(7));
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let lat = SimDuration::from_micros(10);
+        let mut sim = Sim::new(IdealNetwork::new(2, lat));
+        sim.spawn(move |ctx| {
+            ctx.send(ProcId(1), Tag::app(1), 5u32, 4);
+            let m = ctx.recv(Filter::tag(Tag::app(2)));
+            assert_eq!(m.expect_clone::<u32>(), 6);
+            ctx.now()
+        });
+        sim.spawn(move |ctx| {
+            let m = ctx.recv(Filter::tag(Tag::app(1)));
+            let v = m.expect_clone::<u32>();
+            ctx.send(ProcId(0), Tag::app(2), v + 1, 4);
+            ctx.now()
+        });
+        let out = sim.run().unwrap();
+        // Two one-way latencies.
+        assert_eq!(out.elapsed, lat * 2);
+        assert_eq!(out.kernel_stats.messages, 2);
+    }
+
+    #[test]
+    fn results_are_returned_per_rank() {
+        let mut sim = Sim::new(IdealNetwork::instantaneous(3));
+        for rank in 0..3usize {
+            sim.spawn(move |_ctx| rank * 10);
+        }
+        let out = sim.run().unwrap();
+        let values: Vec<usize> = out
+            .results
+            .into_iter()
+            .map(|r| *r.downcast::<usize>().unwrap())
+            .collect();
+        assert_eq!(values, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn messages_queue_until_received() {
+        let mut sim = Sim::new(IdealNetwork::instantaneous(2));
+        sim.spawn(|ctx| {
+            for i in 0..5u64 {
+                ctx.send(ProcId(1), Tag::app(0), i, 8);
+            }
+        });
+        sim.spawn(|ctx| {
+            ctx.compute(SimDuration::from_millis(1));
+            let mut got = Vec::new();
+            for _ in 0..5 {
+                got.push(ctx.recv(Filter::tag(Tag::app(0))).expect_clone::<u64>());
+            }
+            assert_eq!(got, vec![0, 1, 2, 3, 4], "FIFO order per sender");
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn filter_by_source() {
+        let mut sim = Sim::new(IdealNetwork::instantaneous(3));
+        sim.spawn(|ctx| {
+            ctx.send(ProcId(2), Tag::app(0), 100u64, 8);
+        });
+        sim.spawn(|ctx| {
+            ctx.send(ProcId(2), Tag::app(0), 200u64, 8);
+        });
+        sim.spawn(|ctx| {
+            // Receive specifically from rank 1 first, even though rank 0's
+            // message arrives first.
+            ctx.compute(SimDuration::from_millis(1));
+            let m = ctx.recv(Filter::tag(Tag::app(0)).from(ProcId(1)));
+            assert_eq!(m.expect_clone::<u64>(), 200);
+            let m = ctx.recv(Filter::any());
+            assert_eq!(m.expect_clone::<u64>(), 100);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn try_recv_polls_without_blocking() {
+        let mut sim = Sim::new(IdealNetwork::new(2, SimDuration::from_micros(5)));
+        sim.spawn(|ctx| {
+            ctx.compute(SimDuration::from_micros(50));
+            ctx.send(ProcId(1), Tag::app(0), (), 1);
+        });
+        sim.spawn(|ctx| {
+            assert!(ctx.try_recv(Filter::any()).is_none());
+            ctx.compute(SimDuration::from_micros(100));
+            assert!(ctx.try_recv(Filter::any()).is_some());
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let mut sim = Sim::new(IdealNetwork::instantaneous(2));
+        sim.spawn(|ctx| {
+            let _ = ctx.recv(Filter::tag(Tag::app(9)));
+        });
+        sim.spawn(|ctx| {
+            let _ = ctx.recv(Filter::tag(Tag::app(9)));
+        });
+        match sim.run() {
+            Err(SimError::Deadlock { procs, .. }) => {
+                assert_eq!(procs.len(), 2);
+            }
+            other => panic!("expected deadlock, got {:?}", other.is_ok()),
+        }
+    }
+
+    #[test]
+    fn process_panic_is_reported() {
+        let mut sim = Sim::new(IdealNetwork::instantaneous(2));
+        sim.spawn(|_ctx| panic!("intentional test panic"));
+        sim.spawn(|ctx| {
+            let _ = ctx.recv(Filter::any());
+        });
+        match sim.run() {
+            Err(SimError::ProcessPanicked { rank, message }) => {
+                assert_eq!(rank, 0);
+                assert!(message.contains("intentional"));
+            }
+            _ => panic!("expected panic error"),
+        }
+    }
+
+    #[test]
+    fn time_limit_aborts() {
+        let mut sim = Sim::new(IdealNetwork::instantaneous(1));
+        sim.time_limit(SimTime::from_nanos(100));
+        sim.spawn(|ctx| loop {
+            ctx.compute(SimDuration::from_secs(1));
+        });
+        match sim.run() {
+            Err(SimError::TimeLimit { .. }) => {}
+            _ => panic!("expected time limit error"),
+        }
+    }
+
+    #[test]
+    fn blocked_time_is_accounted() {
+        let mut sim = Sim::new(IdealNetwork::instantaneous(2));
+        sim.spawn(|ctx| {
+            ctx.compute(SimDuration::from_millis(3));
+            ctx.send(ProcId(1), Tag::app(0), (), 1);
+        });
+        sim.spawn(|ctx| {
+            let _ = ctx.recv(Filter::any());
+        });
+        let out = sim.run().unwrap();
+        assert_eq!(out.proc_stats[1].blocked, SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn spawn_rejects_overflow() {
+        let mut sim = Sim::new(IdealNetwork::instantaneous(1));
+        sim.spawn(|_| ());
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.spawn(|_| ());
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn send_to_self_is_delivered() {
+        let mut sim = Sim::new(IdealNetwork::new(1, SimDuration::from_micros(1)));
+        sim.spawn(|ctx| {
+            ctx.send(ProcId(0), Tag::app(0), 7u8, 1);
+            let m = ctx.recv(Filter::any());
+            assert_eq!(m.expect_clone::<u8>(), 7);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn zero_compute_is_free() {
+        let mut sim = Sim::new(IdealNetwork::instantaneous(1));
+        sim.spawn(|ctx| {
+            ctx.compute(SimDuration::ZERO);
+            assert_eq!(ctx.now(), SimTime::ZERO);
+        });
+        let out = sim.run().unwrap();
+        assert_eq!(out.elapsed, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,112 @@
+//! The network abstraction the kernel charges message transfers against.
+//!
+//! The kernel is generic over [`Network`] so the cost model is pluggable:
+//! `numagap-net` provides the two-layer cluster/WAN model, and this module
+//! provides [`IdealNetwork`], a trivial constant-delay model used in unit
+//! tests and as the "perfectly uniform" baseline.
+
+use crate::time::{SimDuration, SimTime};
+use crate::ProcId;
+
+/// Timing outcome of handing one message to the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// When the *sender's CPU* becomes free again (send software overhead).
+    pub sender_free: SimTime,
+    /// When the message lands in the receiver's mailbox.
+    pub arrival: SimTime,
+}
+
+/// A pluggable message cost model.
+///
+/// Implementations are stateful: they track per-link occupancy so concurrent
+/// transfers contend for bandwidth. `transfer` is called in deterministic
+/// event order by the kernel.
+pub trait Network: Send + 'static {
+    /// Charges a `wire_bytes`-byte message from `src` to `dst` departing at
+    /// `now`, updating internal link state.
+    fn transfer(&mut self, src: ProcId, dst: ProcId, wire_bytes: u64, now: SimTime) -> Transfer;
+
+    /// Number of processor endpoints this network connects.
+    fn num_procs(&self) -> usize;
+
+    /// Receiver-side software overhead charged when the application actually
+    /// receives a message of this size. Defaults to zero.
+    fn recv_overhead(&self, wire_bytes: u64) -> SimDuration {
+        let _ = wire_bytes;
+        SimDuration::ZERO
+    }
+}
+
+/// A uniform network with constant per-message latency, infinite bandwidth
+/// and zero sender overhead. Deliveries never contend.
+///
+/// # Examples
+///
+/// ```
+/// use numagap_sim::{IdealNetwork, Network, ProcId, SimDuration, SimTime};
+///
+/// let mut net = IdealNetwork::new(4, SimDuration::from_micros(1));
+/// let t = net.transfer(ProcId(0), ProcId(1), 1024, SimTime::ZERO);
+/// assert_eq!(t.arrival, SimTime::ZERO + SimDuration::from_micros(1));
+/// assert_eq!(t.sender_free, SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IdealNetwork {
+    procs: usize,
+    latency: SimDuration,
+}
+
+impl IdealNetwork {
+    /// Creates an ideal network over `procs` endpoints with fixed `latency`.
+    pub fn new(procs: usize, latency: SimDuration) -> Self {
+        IdealNetwork {
+            procs,
+            latency,
+        }
+    }
+
+    /// Creates a zero-latency network (messages arrive "instantly", but still
+    /// in deterministic event order).
+    pub fn instantaneous(procs: usize) -> Self {
+        Self::new(procs, SimDuration::ZERO)
+    }
+}
+
+impl Network for IdealNetwork {
+    fn transfer(&mut self, _src: ProcId, _dst: ProcId, _wire_bytes: u64, now: SimTime) -> Transfer {
+        Transfer {
+            sender_free: now,
+            arrival: now + self.latency,
+        }
+    }
+
+    fn num_procs(&self) -> usize {
+        self.procs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_network_is_stateless() {
+        let mut net = IdealNetwork::new(2, SimDuration::from_nanos(10));
+        let a = net.transfer(ProcId(0), ProcId(1), 1, SimTime::ZERO);
+        let b = net.transfer(ProcId(0), ProcId(1), 1_000_000, SimTime::ZERO);
+        assert_eq!(a, b, "size must not affect an infinite-bandwidth network");
+    }
+
+    #[test]
+    fn instantaneous_delivers_at_now() {
+        let mut net = IdealNetwork::instantaneous(2);
+        let t = net.transfer(ProcId(1), ProcId(0), 64, SimTime::from_nanos(5));
+        assert_eq!(t.arrival, SimTime::from_nanos(5));
+    }
+
+    #[test]
+    fn num_procs_reported() {
+        assert_eq!(IdealNetwork::instantaneous(7).num_procs(), 7);
+    }
+}

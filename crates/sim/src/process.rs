@@ -1,0 +1,201 @@
+//! The process-side view of the simulation: [`ProcCtx`].
+//!
+//! Each simulated processor runs as a real OS thread. The kernel grants
+//! control to exactly one process at a time; every simulated operation is a
+//! rendezvous with the kernel, which keeps the whole run deterministic
+//! regardless of host scheduling.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::message::{Filter, Message, Payload, Tag};
+use crate::time::{SimDuration, SimTime};
+use crate::ProcId;
+
+/// Requests a process thread sends to the kernel.
+pub(crate) enum Request {
+    /// Advance this process's clock by the given amount of compute time.
+    Compute(SimDuration),
+    /// Hand a message to the network (asynchronous send).
+    Send {
+        dst: ProcId,
+        tag: Tag,
+        wire_bytes: u64,
+        payload: Payload,
+    },
+    /// Block until a matching message is available.
+    Recv(Filter),
+    /// Poll for a matching message without blocking.
+    TryRecv(Filter),
+    /// The process finished with this result.
+    Exit(Box<dyn Any + Send>),
+}
+
+/// Kernel replies completing a request.
+pub(crate) enum Grant {
+    /// The operation completed; the process clock is now this.
+    Proceed(SimTime),
+    /// A `Recv` completed with this message.
+    Msg(SimTime, Message),
+    /// A `TryRecv` completed (possibly empty-handed).
+    TryMsg(SimTime, Option<Message>),
+    /// The kernel is tearing the run down (deadlock / time limit); unwind.
+    Abort,
+}
+
+/// Marker panic payload used to silently unwind a process thread when the
+/// kernel aborts a run. Never observed by user code.
+pub(crate) struct AbortToken;
+
+/// Handle through which a simulated process interacts with the virtual world.
+///
+/// A `ProcCtx` is passed by the kernel to each process entry function. All of
+/// its methods advance or query *virtual* time; none of them touch wall-clock
+/// time.
+///
+/// # Examples
+///
+/// ```
+/// use numagap_sim::{Sim, IdealNetwork, SimDuration, Tag, Filter};
+///
+/// let mut sim = Sim::new(IdealNetwork::instantaneous(2));
+/// sim.spawn(|ctx| {
+///     ctx.send(numagap_sim::ProcId(1), Tag::app(0), 123u64, 8);
+/// });
+/// sim.spawn(|ctx| {
+///     let m = ctx.recv(Filter::tag(Tag::app(0)));
+///     assert_eq!(m.expect_clone::<u64>(), 123);
+/// });
+/// sim.run().unwrap();
+/// ```
+pub struct ProcCtx {
+    pub(crate) id: ProcId,
+    pub(crate) nprocs: usize,
+    pub(crate) now: SimTime,
+    pub(crate) req_tx: Sender<Request>,
+    pub(crate) grant_rx: Receiver<Grant>,
+}
+
+impl std::fmt::Debug for ProcCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcCtx")
+            .field("rank", &self.id.0)
+            .field("nprocs", &self.nprocs)
+            .field("now", &self.now)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ProcCtx {
+    /// This process's rank, in `0..nprocs`.
+    pub fn rank(&self) -> usize {
+        self.id.0
+    }
+
+    /// This process's id.
+    pub fn id(&self) -> ProcId {
+        self.id
+    }
+
+    /// Total number of processes in the run.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Current virtual time at this process.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn rendezvous(&mut self, req: Request) -> Grant {
+        self.req_tx
+            .send(req)
+            .expect("kernel hung up while process was live");
+        match self.grant_rx.recv() {
+            Ok(Grant::Abort) => std::panic::panic_any(AbortToken),
+            Ok(grant) => grant,
+            Err(_) => std::panic::panic_any(AbortToken),
+        }
+    }
+
+    /// Spends `d` of virtual CPU time.
+    pub fn compute(&mut self, d: SimDuration) {
+        if d.is_zero() {
+            return;
+        }
+        match self.rendezvous(Request::Compute(d)) {
+            Grant::Proceed(now) => self.now = now,
+            _ => unreachable!("compute answered with a non-proceed grant"),
+        }
+    }
+
+    /// Sends `value` to `dst` with matching `tag`, charging `wire_bytes` on
+    /// the network. Asynchronous: returns as soon as the sender-side software
+    /// overhead has been paid; delivery happens later in virtual time.
+    pub fn send<T: Any + Send + Sync>(&mut self, dst: ProcId, tag: Tag, value: T, wire_bytes: u64) {
+        self.send_payload(dst, tag, Arc::new(value), wire_bytes);
+    }
+
+    /// Sends an already-shared payload (cheap for multicast fan-out).
+    pub fn send_payload(&mut self, dst: ProcId, tag: Tag, payload: Payload, wire_bytes: u64) {
+        assert!(
+            dst.0 < self.nprocs,
+            "send to rank {} but only {} processes exist",
+            dst.0,
+            self.nprocs
+        );
+        match self.rendezvous(Request::Send {
+            dst,
+            tag,
+            wire_bytes,
+            payload,
+        }) {
+            Grant::Proceed(now) => self.now = now,
+            _ => unreachable!("send answered with a non-proceed grant"),
+        }
+    }
+
+    /// Blocks until a message matching `filter` arrives, and returns it.
+    /// Messages are matched in arrival (FIFO) order.
+    pub fn recv(&mut self, filter: Filter) -> Message {
+        match self.rendezvous(Request::Recv(filter)) {
+            Grant::Msg(now, msg) => {
+                self.now = now;
+                msg
+            }
+            _ => unreachable!("recv answered with a non-message grant"),
+        }
+    }
+
+    /// Returns a matching message if one has already arrived, without
+    /// blocking or advancing time (beyond receive overhead on a hit).
+    pub fn try_recv(&mut self, filter: Filter) -> Option<Message> {
+        match self.rendezvous(Request::TryRecv(filter)) {
+            Grant::TryMsg(now, msg) => {
+                self.now = now;
+                msg
+            }
+            _ => unreachable!("try_recv answered with a non-trymsg grant"),
+        }
+    }
+
+    /// Convenience: receives a message with `tag` from anyone and clones out
+    /// a typed payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload type does not match `T` (a protocol bug).
+    pub fn recv_typed<T: Any + Send + Sync + Clone>(&mut self, tag: Tag) -> (ProcId, T) {
+        let m = self.recv(Filter::tag(tag));
+        let v = m.expect_clone::<T>();
+        (m.src, v)
+    }
+
+    pub(crate) fn finish(self, result: Box<dyn Any + Send>) {
+        // Best-effort: if the kernel already tore down, there is nobody to
+        // tell, and that is fine.
+        let _ = self.req_tx.send(Request::Exit(result));
+    }
+}

@@ -1,0 +1,39 @@
+//! MagPIe in action: the same MPI-style collective executed with a
+//! topology-oblivious algorithm and with the cluster-aware algorithm, on the
+//! same wide-area machine.
+//!
+//! ```sh
+//! cargo run --release --example collectives_magpie
+//! ```
+
+use twolayer::collectives::{Algo, Coll};
+use twolayer::net::das_spec;
+use twolayer::rt::Machine;
+
+fn main() {
+    println!("allreduce of a 64 KB vector on 4x8 processors, 10 ms / 1 MB/s WAN\n");
+    for algo in [Algo::Flat, Algo::ClusterAware] {
+        let machine = Machine::new(das_spec(4, 8, 10.0, 1.0));
+        let report = machine
+            .run(move |ctx| {
+                let mut coll = Coll::new(0, algo);
+                let contrib = vec![ctx.rank() as f64; 8192];
+                let total = coll.allreduce(ctx, contrib, |a, b| {
+                    a.iter().zip(b).map(|(x, y)| x + y).collect::<Vec<f64>>()
+                });
+                total[0]
+            })
+            .expect("run failed");
+        // sum of ranks 0..31 = 496 in every element
+        assert_eq!(report.results[0], 496.0);
+        println!(
+            "{:<14} completion {:>10}   wide-area: {:>3} messages, {:>8} bytes",
+            algo.to_string(),
+            report.elapsed.to_string(),
+            report.net_stats.inter_msgs,
+            report.net_stats.inter_payload_bytes
+        );
+    }
+    println!("\n(the cluster-aware algorithm crosses each wide-area link once,");
+    println!(" completing in about one WAN round trip — the MagPIe result)");
+}

@@ -1,0 +1,50 @@
+//! DSM programming model: a replicated histogram built by all ranks through
+//! release-consistent shared objects — no explicit messages in application
+//! code, yet the exchange underneath is cluster-aware.
+//!
+//! ```sh
+//! cargo run --release --example dsm_shared_objects
+//! ```
+
+use std::collections::BTreeMap;
+
+use twolayer::dsm::{MapPut, Replicated};
+use twolayer::net::das_spec;
+use twolayer::rt::Machine;
+
+fn main() {
+    let machine = Machine::new(das_spec(4, 4, 10.0, 1.0));
+    let report = machine
+        .run(|ctx| {
+            let mut histogram = Replicated::new(0, BTreeMap::<u32, u64>::new());
+            // Each rank contributes counts for "its" buckets over 3 rounds.
+            for round in 0..3u64 {
+                let bucket = (ctx.rank() % 5) as u32;
+                histogram.write(MapPut {
+                    key: bucket * 10 + round as u32,
+                    value: (ctx.rank() as u64 + 1) * (round + 1),
+                });
+                histogram.fence(ctx);
+            }
+            histogram.read().clone()
+        })
+        .expect("simulation failed");
+
+    // Every replica is bit-identical.
+    let reference = &report.results[0];
+    assert!(report.results.iter().all(|r| r == reference));
+    println!(
+        "replicated histogram converged on all {} ranks ({} buckets):",
+        report.results.len(),
+        reference.len()
+    );
+    for (bucket, count) in reference.iter().take(8) {
+        println!("  bucket {bucket:>3}: {count}");
+    }
+    println!("  ...");
+    println!(
+        "\nvirtual time: {}  |  wide-area messages: {}",
+        report.elapsed, report.net_stats.inter_msgs
+    );
+    println!("(each rank's updates crossed each wide-area link exactly once per fence)");
+}

@@ -1,0 +1,20 @@
+//! # twolayer — facade crate for the HPCA'99 two-layer interconnect reproduction
+//!
+//! Re-exports the full stack so examples and downstream users need a single
+//! dependency:
+//!
+//! * [`sim`] — deterministic discrete-event kernel
+//! * [`net`] — two-layer (Myrinet/ATM-like) interconnect cost model
+//! * [`rt`] — message-passing runtime (typed messages, RPC, barriers, ...)
+//! * [`collectives`] — flat vs cluster-aware (MagPIe-like) MPI collectives
+//! * [`dsm`] — a miniature release-consistent distributed shared memory
+//! * [`apps`] — the six paper applications, unoptimized and optimized
+
+#![warn(missing_docs)]
+
+pub use numagap_apps as apps;
+pub use numagap_collectives as collectives;
+pub use numagap_dsm as dsm;
+pub use numagap_net as net;
+pub use numagap_rt as rt;
+pub use numagap_sim as sim;

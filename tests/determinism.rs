@@ -1,0 +1,53 @@
+//! The simulator's core guarantee: runs are bit-for-bit reproducible.
+//! Repeats whole application runs and compares every observable.
+
+use twolayer::apps::{run_app, AppId, Scale, SuiteConfig, Variant};
+use twolayer::net::das_spec;
+use twolayer::rt::Machine;
+
+#[test]
+fn all_apps_are_bit_for_bit_deterministic() {
+    let cfg = SuiteConfig::at(Scale::Small);
+    let machine = Machine::new(das_spec(2, 3, 3.0, 0.5));
+    for app in AppId::ALL {
+        for variant in [Variant::Unoptimized, Variant::Optimized] {
+            let a = run_app(app, &cfg, variant, &machine).unwrap();
+            let b = run_app(app, &cfg, variant, &machine).unwrap();
+            assert_eq!(a.elapsed, b.elapsed, "{app}/{variant} elapsed");
+            assert_eq!(
+                a.checksum.to_bits(),
+                b.checksum.to_bits(),
+                "{app}/{variant} checksum"
+            );
+            assert_eq!(a.work, b.work, "{app}/{variant} work");
+            assert_eq!(a.net.inter_msgs, b.net.inter_msgs, "{app}/{variant} msgs");
+            assert_eq!(
+                a.net.inter_payload_bytes, b.net.inter_payload_bytes,
+                "{app}/{variant} bytes"
+            );
+        }
+    }
+}
+
+#[test]
+fn determinism_holds_across_topologies() {
+    let cfg = SuiteConfig::at(Scale::Small);
+    for spec in [das_spec(4, 2, 10.0, 0.1), das_spec(8, 1, 1.0, 6.0)] {
+        let machine = Machine::new(spec);
+        let a = run_app(AppId::Asp, &cfg, Variant::Optimized, &machine).unwrap();
+        let b = run_app(AppId::Asp, &cfg, Variant::Optimized, &machine).unwrap();
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.kern_elapsed_check(), b.kern_elapsed_check());
+    }
+}
+
+/// Helper trait so the test reads naturally.
+trait KernCheck {
+    fn kern_elapsed_check(&self) -> (u64, u64);
+}
+
+impl KernCheck for twolayer::apps::AppRun {
+    fn kern_elapsed_check(&self) -> (u64, u64) {
+        (self.net.total_msgs(), self.net.total_payload_bytes())
+    }
+}

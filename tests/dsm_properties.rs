@@ -1,0 +1,124 @@
+//! Property-based tests of the DSM layer: replicas converge bit-for-bit for
+//! arbitrary update mixes, machine shapes, and fence placements.
+
+use proptest::prelude::*;
+
+use twolayer::dsm::{AddU64, MapPut, Replicated};
+use twolayer::net::{Topology, TwoLayerSpec};
+use twolayer::rt::Machine;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Counters converge to the exact sum regardless of topology and of how
+    /// writes are spread across epochs.
+    #[test]
+    fn counters_converge(
+        sizes in prop::collection::vec(1usize..4, 1..4),
+        rounds in 1usize..4,
+        per_round in prop::collection::vec(0u64..5, 12),
+    ) {
+        let machine = Machine::new(TwoLayerSpec::new(Topology::new(&sizes)));
+        let p = sizes.iter().sum::<usize>();
+        let pr = per_round.clone();
+        let report = machine.run(move |ctx| {
+            let mut c = Replicated::new(0, 0u64);
+            for round in 0..rounds {
+                let n = pr[(ctx.rank() + round) % pr.len()];
+                for _ in 0..n {
+                    c.write(AddU64(1));
+                }
+                c.fence(ctx);
+            }
+            *c.read()
+        }).unwrap();
+        let expected: u64 = (0..p)
+            .map(|r| {
+                (0..rounds)
+                    .map(|round| per_round[(r + round) % per_round.len()])
+                    .sum::<u64>()
+            })
+            .sum();
+        for v in &report.results {
+            prop_assert_eq!(*v, expected);
+        }
+    }
+
+    /// Conflicting map writes resolve identically on every replica, and the
+    /// winner is the deterministic (writer, issue-index) maximum.
+    #[test]
+    fn conflicting_writes_resolve_deterministically(
+        sizes in prop::collection::vec(1usize..4, 2..4),
+        values in prop::collection::vec(any::<u64>(), 12),
+    ) {
+        let machine = Machine::new(TwoLayerSpec::new(Topology::new(&sizes)));
+        let p: usize = sizes.iter().sum();
+        let vals = values.clone();
+        let report = machine.run(move |ctx| {
+            let mut m = Replicated::new(1, std::collections::BTreeMap::new());
+            m.write(MapPut { key: 0u32, value: vals[ctx.rank() % vals.len()] });
+            m.fence(ctx);
+            m.read().clone()
+        }).unwrap();
+        let winner = values[(p - 1) % values.len()];
+        for replica in &report.results {
+            prop_assert_eq!(replica.len(), 1);
+            prop_assert_eq!(replica[&0], winner, "highest writer rank wins");
+        }
+    }
+
+    /// Runs are deterministic in both results and virtual time.
+    #[test]
+    fn dsm_runs_are_deterministic(sizes in prop::collection::vec(1usize..3, 1..4)) {
+        let run = || {
+            let machine = Machine::new(TwoLayerSpec::new(Topology::new(&sizes)));
+            machine.run(|ctx| {
+                let mut c = Replicated::new(0, 0u64);
+                c.write(AddU64(ctx.rank() as u64));
+                c.fence(ctx);
+                c.write(AddU64(1));
+                c.fence(ctx);
+                *c.read()
+            }).unwrap()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.results, b.results);
+        prop_assert_eq!(a.elapsed, b.elapsed);
+    }
+}
+
+#[test]
+fn wan_routes_are_well_formed() {
+    use twolayer::net::WanTopology;
+    for n in 2..8usize {
+        for topology in [
+            WanTopology::FullMesh,
+            WanTopology::Star {
+                hub: n / 2,
+            },
+            WanTopology::Ring,
+        ] {
+            for a in 0..n {
+                for b in 0..n {
+                    if a == b {
+                        continue;
+                    }
+                    let route = topology.route(a, b, n);
+                    assert_eq!(route.first(), Some(&a));
+                    assert_eq!(route.last(), Some(&b));
+                    assert!(route.len() >= 2);
+                    // No repeated clusters on the path.
+                    let mut dedup = route.clone();
+                    dedup.sort_unstable();
+                    dedup.dedup();
+                    assert_eq!(dedup.len(), route.len(), "{topology:?} {a}->{b}");
+                    // Ring routes take the shorter way: at most n/2 hops.
+                    if topology == WanTopology::Ring {
+                        assert!(route.len() - 1 <= n / 2 + n % 2);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Paper-scale smoke tests (`cargo test -- --ignored`): run selected
+//! applications at the paper's original problem sizes. Slow (minutes), so
+//! ignored by default; the CI-fast path uses `Scale::Small`.
+
+use twolayer::apps::asp::{asp_rank, AspConfig};
+use twolayer::apps::fft::{fft_rank, FftConfig};
+use twolayer::apps::water::{water_rank, WaterConfig};
+use twolayer::apps::{total_checksum, Variant};
+use twolayer::net::{das_spec, uniform_spec};
+use twolayer::rt::Machine;
+
+#[test]
+#[ignore = "paper-scale: ~minutes of host time"]
+fn water_paper_scale_runs_and_verifies() {
+    let cfg = WaterConfig::paper(); // 1500 molecules
+    let expected = twolayer::apps::water::serial_water(&cfg);
+    let report = Machine::new(das_spec(4, 8, 10.0, 1.0))
+        .run(move |ctx| water_rank(ctx, &cfg, Variant::Optimized))
+        .unwrap();
+    let got = total_checksum(&report.results);
+    let err = (got - expected).abs() / expected.abs().max(1.0);
+    assert!(err < 1e-9, "{got} vs {expected}");
+}
+
+#[test]
+#[ignore = "paper-scale: ~minutes of host time"]
+fn fft_paper_scale_runs() {
+    let cfg = FftConfig::paper(); // 2^20 points
+    let report = Machine::new(uniform_spec(32))
+        .run(move |ctx| fft_rank(ctx, &cfg, Variant::Unoptimized))
+        .unwrap();
+    assert!(report.elapsed.as_secs_f64() > 0.0);
+    assert!(report.results.iter().map(|r| r.checksum).sum::<f64>() > 0.0);
+}
+
+#[test]
+#[ignore = "paper-scale: ~minutes of host time"]
+fn asp_paper_scale_multicluster() {
+    let cfg = AspConfig::paper(); // 1500 vertices
+    let report = Machine::new(das_spec(4, 8, 10.0, 1.0))
+        .run(move |ctx| asp_rank(ctx, &cfg, Variant::Optimized))
+        .unwrap();
+    assert!(report.elapsed.as_secs_f64() > 0.0);
+}
