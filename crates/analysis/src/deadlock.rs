@@ -1,0 +1,181 @@
+//! Post-mortem decomposition of [`SimError`] into sanitizer diagnostics.
+//!
+//! The kernel already ships structured evidence inside
+//! [`SimError::Deadlock`] — per-rank wait states, mailbox snapshots and the
+//! wait-for cycle. This module turns that evidence into [`Diagnostic`]s so
+//! callers (the CLI, CI) see deadlocks through the same reporting pipeline
+//! as online findings.
+
+use numagap_sim::{format_filter, SimError, WaitState};
+
+use crate::diag::{Diagnostic, DiagnosticKind};
+
+/// Decomposes a run error into diagnostics.
+///
+/// - [`SimError::Deadlock`] yields one [`DiagnosticKind::Deadlock`] finding
+///   (naming the wait-for cycle when one exists, otherwise summarizing the
+///   blocked filters) plus one [`DiagnosticKind::OrphanReceive`] per rank
+///   blocked on a sender that already exited.
+/// - Other errors yield nothing; they are not communication defects.
+pub fn diagnose_sim_error(err: &SimError) -> Vec<Diagnostic> {
+    let SimError::Deadlock { at, procs, cycle } = err else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+
+    let blocked: Vec<(usize, &WaitState)> = procs
+        .iter()
+        .filter(|(_, s)| matches!(s, WaitState::BlockedInRecv { .. }))
+        .map(|(r, s)| (*r, s))
+        .collect();
+
+    let detail = if cycle.is_empty() {
+        let states = blocked
+            .iter()
+            .map(|(r, s)| format!("rank {r}: {s}"))
+            .collect::<Vec<_>>()
+            .join("; ");
+        format!(
+            "all {} live processes blocked in recv with no wait-for cycle \
+             (a message nobody sends): {states}",
+            blocked.len()
+        )
+    } else {
+        let chain = cycle
+            .iter()
+            .chain(cycle.first())
+            .map(|r| format!("rank {r}"))
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        format!(
+            "wait-for cycle {chain}; each rank is blocked receiving from the \
+             next while holding its own reply"
+        )
+    };
+    out.push(Diagnostic {
+        kind: DiagnosticKind::Deadlock,
+        rank: cycle.first().copied(),
+        at: Some(*at),
+        detail,
+    });
+
+    // A rank blocked on a specific sender that already exited can never be
+    // woken: the kernel only leaves it blocked if nothing in its mailbox
+    // matched, and an exited rank sends nothing further.
+    for (rank, state) in &blocked {
+        let WaitState::BlockedInRecv { filter, mailbox } = state else {
+            continue;
+        };
+        let Some(src) = filter.src else { continue };
+        let src_exited = procs
+            .iter()
+            .any(|(r, s)| *r == src.0 && matches!(s, WaitState::Exited));
+        if !src_exited {
+            continue;
+        }
+        let mailbox_note = if mailbox.is_empty() {
+            "empty mailbox".to_string()
+        } else {
+            format!("{} unmatched message(s) in its mailbox", mailbox.len())
+        };
+        out.push(Diagnostic {
+            kind: DiagnosticKind::OrphanReceive,
+            rank: Some(*rank),
+            at: Some(*at),
+            detail: format!(
+                "blocked in recv({}) but rank {} already exited; {}",
+                format_filter(filter),
+                src.0,
+                mailbox_note
+            ),
+        });
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numagap_sim::{Filter, PendingMessage, ProcId, SimTime, Tag};
+
+    #[test]
+    fn deadlock_with_cycle_names_the_cycle() {
+        let err = SimError::Deadlock {
+            at: SimTime::from_nanos(500),
+            procs: vec![
+                (
+                    0,
+                    WaitState::BlockedInRecv {
+                        filter: Filter::tag(Tag::app(0)).from(ProcId(1)),
+                        mailbox: vec![],
+                    },
+                ),
+                (
+                    1,
+                    WaitState::BlockedInRecv {
+                        filter: Filter::tag(Tag::app(0)).from(ProcId(0)),
+                        mailbox: vec![],
+                    },
+                ),
+            ],
+            cycle: vec![0, 1],
+        };
+        let diags = diagnose_sim_error(&err);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].kind, DiagnosticKind::Deadlock);
+        assert!(
+            diags[0].detail.contains("rank 0 -> rank 1 -> rank 0"),
+            "{}",
+            diags[0].detail
+        );
+    }
+
+    #[test]
+    fn blocked_on_exited_sender_is_an_orphan_receive() {
+        let err = SimError::Deadlock {
+            at: SimTime::from_nanos(900),
+            procs: vec![
+                (
+                    0,
+                    WaitState::BlockedInRecv {
+                        filter: Filter::tag(Tag::app(4)).from(ProcId(1)),
+                        mailbox: vec![PendingMessage {
+                            seq: 3,
+                            src: 1,
+                            tag: Tag::app(9),
+                            wire_bytes: 16,
+                        }],
+                    },
+                ),
+                (1, WaitState::Exited),
+            ],
+            cycle: vec![],
+        };
+        let diags = diagnose_sim_error(&err);
+        let orphan = diags
+            .iter()
+            .find(|d| d.kind == DiagnosticKind::OrphanReceive)
+            .expect("orphan receive expected");
+        assert_eq!(orphan.rank, Some(0));
+        assert!(
+            orphan.detail.contains("rank 1 already exited"),
+            "{}",
+            orphan.detail
+        );
+        assert!(orphan.detail.contains("1 unmatched"), "{}", orphan.detail);
+    }
+
+    #[test]
+    fn non_deadlock_errors_yield_nothing() {
+        let err = SimError::TimeLimit {
+            limit: SimTime::from_nanos(1),
+        };
+        assert!(diagnose_sim_error(&err).is_empty());
+        let err = SimError::ProcessPanicked {
+            rank: 2,
+            message: "boom".into(),
+        };
+        assert!(diagnose_sim_error(&err).is_empty());
+    }
+}

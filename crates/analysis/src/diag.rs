@@ -1,0 +1,109 @@
+//! Diagnostic records produced by the sanitizer.
+
+use std::fmt;
+
+use numagap_sim::SimTime;
+
+/// What kind of communication defect a [`Diagnostic`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DiagnosticKind {
+    /// A wildcard receive had two causally concurrent in-flight candidates
+    /// from different senders: the program's result can depend on network
+    /// timing.
+    MessageRace,
+    /// A message was sent but never received by the end of the run.
+    LostMessage,
+    /// A process was blocked receiving from a process that had already
+    /// exited (and no matching message was in flight).
+    OrphanReceive,
+    /// The run deadlocked; carries the wait-for cycle when one exists.
+    Deadlock,
+    /// A send used a tag inside the runtime-reserved range that belongs to
+    /// no known protocol block.
+    ReservedTagMisuse,
+    /// A combining buffer still held items when its rank exited.
+    UnflushedCombiner,
+    /// Barrier generation counters disagreed across ranks at exit, or a
+    /// barrier-protocol message was never consumed.
+    BarrierEpochMismatch,
+    /// A message's declared wire size is wildly smaller than its in-memory
+    /// payload: the cost model is being undercharged.
+    WireBytesMismatch,
+}
+
+impl DiagnosticKind {
+    /// Stable lowercase identifier (used by waiver tables and output).
+    pub fn name(self) -> &'static str {
+        match self {
+            DiagnosticKind::MessageRace => "message-race",
+            DiagnosticKind::LostMessage => "lost-message",
+            DiagnosticKind::OrphanReceive => "orphan-receive",
+            DiagnosticKind::Deadlock => "deadlock",
+            DiagnosticKind::ReservedTagMisuse => "reserved-tag-misuse",
+            DiagnosticKind::UnflushedCombiner => "unflushed-combiner",
+            DiagnosticKind::BarrierEpochMismatch => "barrier-epoch-mismatch",
+            DiagnosticKind::WireBytesMismatch => "wire-bytes-mismatch",
+        }
+    }
+}
+
+impl fmt::Display for DiagnosticKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding of the communication sanitizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The defect class.
+    pub kind: DiagnosticKind,
+    /// The rank the finding is attributed to (usually the receiver), when
+    /// one rank is clearly responsible.
+    pub rank: Option<usize>,
+    /// Virtual time of the triggering event, when known.
+    pub at: Option<SimTime>,
+    /// Human-readable description with the concrete evidence.
+    pub detail: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]", self.kind)?;
+        if let Some(rank) = self.rank {
+            write!(f, " rank {rank}")?;
+        }
+        if let Some(at) = self.at {
+            write!(f, " at {at}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_rank_and_detail() {
+        let d = Diagnostic {
+            kind: DiagnosticKind::MessageRace,
+            rank: Some(3),
+            at: Some(SimTime::from_nanos(1500)),
+            detail: "two candidates".into(),
+        };
+        let s = d.to_string();
+        assert!(s.contains("[message-race]"), "{s}");
+        assert!(s.contains("rank 3"), "{s}");
+        assert!(s.contains("two candidates"), "{s}");
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(DiagnosticKind::LostMessage.name(), "lost-message");
+        assert_eq!(
+            DiagnosticKind::WireBytesMismatch.name(),
+            "wire-bytes-mismatch"
+        );
+    }
+}

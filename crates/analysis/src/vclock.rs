@@ -1,0 +1,153 @@
+//! Vector clocks over simulated processes.
+
+/// A fixed-width vector clock, one component per simulated process.
+///
+/// Component `i` counts the causally-relevant events process `i` has
+/// performed. `a ≤ b` componentwise means every event in `a`'s history is
+/// also in `b`'s history (a happens-before-or-equals b); clocks where
+/// neither dominates are *concurrent*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorClock {
+    c: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock over `n` processes.
+    pub fn new(n: usize) -> Self {
+        VectorClock { c: vec![0; n] }
+    }
+
+    /// Number of processes this clock spans.
+    pub fn len(&self) -> usize {
+        self.c.len()
+    }
+
+    /// True when the clock spans zero processes.
+    pub fn is_empty(&self) -> bool {
+        self.c.is_empty()
+    }
+
+    /// Advances process `p`'s own component by one (a local event).
+    pub fn tick(&mut self, p: usize) {
+        self.c[p] += 1;
+    }
+
+    /// Component for process `p`.
+    pub fn get(&self, p: usize) -> u64 {
+        self.c[p]
+    }
+
+    /// Merges knowledge from `other` (componentwise max), as done when a
+    /// message carrying `other` is received.
+    pub fn join(&mut self, other: &VectorClock) {
+        debug_assert_eq!(self.c.len(), other.c.len());
+        for (a, b) in self.c.iter_mut().zip(&other.c) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// True when `self` happens-before-or-equals `other` (componentwise ≤).
+    pub fn le(&self, other: &VectorClock) -> bool {
+        debug_assert_eq!(self.c.len(), other.c.len());
+        self.c.iter().zip(&other.c).all(|(a, b)| a <= b)
+    }
+
+    /// True when neither clock dominates the other: the two events could
+    /// occur in either order under some legal interleaving.
+    pub fn concurrent(&self, other: &VectorClock) -> bool {
+        !self.le(other) && !other.le(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::VectorClock;
+
+    #[test]
+    fn fresh_clocks_are_equal_and_ordered() {
+        let a = VectorClock::new(3);
+        let b = VectorClock::new(3);
+        assert!(a.le(&b) && b.le(&a));
+        assert!(!a.concurrent(&b));
+    }
+
+    #[test]
+    fn tick_establishes_strict_order() {
+        let a = VectorClock::new(2);
+        let mut b = a.clone();
+        b.tick(0);
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+    }
+
+    #[test]
+    fn happens_before_is_transitive() {
+        // a -> b by message (join), b -> c by local tick: a must precede c.
+        let mut a = VectorClock::new(3);
+        a.tick(0);
+        let mut b = VectorClock::new(3);
+        b.tick(1);
+        b.join(&a);
+        b.tick(1);
+        let mut c = b.clone();
+        c.tick(2);
+        assert!(a.le(&b) && b.le(&c));
+        assert!(a.le(&c));
+    }
+
+    #[test]
+    fn independent_ticks_are_concurrent() {
+        // Two sends with no intervening communication: concurrent.
+        let mut a = VectorClock::new(2);
+        a.tick(0);
+        let mut b = VectorClock::new(2);
+        b.tick(1);
+        assert!(a.concurrent(&b));
+        assert!(b.concurrent(&a));
+    }
+
+    #[test]
+    fn barrier_join_orders_subsequent_events_after_prior_ones() {
+        // Model a 3-process barrier as an all-to-all join: afterwards every
+        // process's clock dominates every pre-barrier event.
+        let mut clocks: Vec<VectorClock> = (0..3)
+            .map(|p| {
+                let mut v = VectorClock::new(3);
+                v.tick(p); // one pre-barrier local event each
+                v
+            })
+            .collect();
+        let pre = clocks.clone();
+
+        let mut merged = VectorClock::new(3);
+        for v in &clocks {
+            merged.join(v);
+        }
+        for v in clocks.iter_mut() {
+            v.join(&merged);
+        }
+        for post in &clocks {
+            for old in &pre {
+                assert!(old.le(post), "barrier must order pre-barrier events");
+            }
+        }
+        // And post-barrier local events on different processes are again
+        // concurrent with each other.
+        clocks[0].tick(0);
+        clocks[1].tick(1);
+        assert!(clocks[0].concurrent(&clocks[1]));
+    }
+
+    #[test]
+    fn join_is_componentwise_max() {
+        let mut a = VectorClock::new(3);
+        a.tick(0);
+        a.tick(0);
+        let mut b = VectorClock::new(3);
+        b.tick(2);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 0);
+        assert_eq!(a.get(2), 1);
+    }
+}

@@ -144,11 +144,7 @@ fn row_tag(k: usize) -> Tag {
 
 /// Binomial-tree parent/children of `me` within `group`, rooted at position
 /// `root_pos`.
-fn binomial_relations(
-    group: &[usize],
-    root_pos: usize,
-    me: usize,
-) -> (Option<usize>, Vec<usize>) {
+fn binomial_relations(group: &[usize], root_pos: usize, me: usize) -> (Option<usize>, Vec<usize>) {
     let p = group.len();
     let me_pos = group
         .iter()
@@ -182,7 +178,7 @@ fn binomial_relations(
 
 /// Broadcast-tree relations for iteration `k` under a given variant.
 /// Returns `(parent, children)` for `me`; the root has no parent.
-fn tree_relations(ctx: &Ctx, owner: usize, variant: Variant) -> (Option<usize>, Vec<usize>) {
+fn tree_relations(ctx: &Ctx<'_>, owner: usize, variant: Variant) -> (Option<usize>, Vec<usize>) {
     let me = ctx.rank();
     match variant {
         Variant::Unoptimized => {
@@ -217,7 +213,7 @@ fn tree_relations(ctx: &Ctx, owner: usize, variant: Variant) -> (Option<usize>, 
 }
 
 /// Where the sequencer lives at iteration `k`.
-fn seq_host(ctx: &Ctx, owner: usize, variant: Variant) -> usize {
+fn seq_host(ctx: &Ctx<'_>, owner: usize, variant: Variant) -> usize {
     match variant {
         Variant::Unoptimized => 0,
         Variant::Optimized => {
@@ -233,14 +229,14 @@ struct SeqState {
 }
 
 impl SeqState {
-    fn handle(&mut self, ctx: &mut Ctx, msg: Message) {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
         match self.server.as_mut() {
             Some(server) => server.serve(ctx, &msg),
             None => self.pending.push(msg),
         }
     }
 
-    fn install(&mut self, ctx: &mut Ctx, next: u64) {
+    fn install(&mut self, ctx: &mut Ctx<'_>, next: u64) {
         let mut server = SequencerServer::resume(next);
         for msg in self.pending.drain(..) {
             server.serve(ctx, &msg);
@@ -251,7 +247,7 @@ impl SeqState {
 
 /// Runs parallel ASP on one rank. Returns this rank's partial checksum over
 /// its owned rows.
-pub fn asp_rank(ctx: &mut Ctx, cfg: &AspConfig, variant: Variant) -> RankOutput {
+pub fn asp_rank(ctx: &mut Ctx<'_>, cfg: &AspConfig, variant: Variant) -> RankOutput {
     let n = cfg.n;
     let p = ctx.nprocs();
     let me = ctx.rank();
@@ -326,7 +322,12 @@ pub fn asp_rank(ctx: &mut Ctx, cfg: &AspConfig, variant: Variant) -> RankOutput 
         // Forward down the tree (root and interior nodes).
         let payload: numagap_sim::Payload = std::sync::Arc::new(row.clone());
         for child in children {
-            ctx.send_payload(child, row_tag(k), std::sync::Arc::clone(&payload), row_bytes);
+            ctx.send_payload(
+                child,
+                row_tag(k),
+                std::sync::Arc::clone(&payload),
+                row_bytes,
+            );
         }
         // Relax my rows against row k.
         let mut cells = 0u64;
@@ -422,11 +423,7 @@ mod tests {
     fn parallel_unopt_matches_serial() {
         let cfg = AspConfig::small();
         let expected = matrix_checksum(&serial_asp(&cfg));
-        let (sum, _) = run(
-            cfg,
-            Variant::Unoptimized,
-            Machine::new(uniform_spec(8)),
-        );
+        let (sum, _) = run(cfg, Variant::Unoptimized, Machine::new(uniform_spec(8)));
         assert!((sum - expected).abs() < 1e-6, "{sum} vs {expected}");
     }
 
@@ -435,12 +432,11 @@ mod tests {
         let cfg = AspConfig::small();
         let expected = matrix_checksum(&serial_asp(&cfg));
         for variant in [Variant::Unoptimized, Variant::Optimized] {
-            let (sum, _) = run(
-                cfg.clone(),
-                variant,
-                Machine::new(das_spec(4, 2, 5.0, 1.0)),
+            let (sum, _) = run(cfg.clone(), variant, Machine::new(das_spec(4, 2, 5.0, 1.0)));
+            assert!(
+                (sum - expected).abs() < 1e-6,
+                "{variant}: {sum} vs {expected}"
             );
-            assert!((sum - expected).abs() < 1e-6, "{variant}: {sum} vs {expected}");
         }
     }
 

@@ -183,14 +183,14 @@ enum ValueSender {
 }
 
 impl ValueSender {
-    fn add(&mut self, ctx: &mut Ctx, dst: usize, item: ValueItem) {
+    fn add(&mut self, ctx: &mut Ctx<'_>, dst: usize, item: ValueItem) {
         match self {
             ValueSender::Flat(c) => c.add(ctx, dst, item),
             ValueSender::Clustered(c) => c.add(ctx, dst, item),
         }
     }
 
-    fn flush(&mut self, ctx: &mut Ctx) {
+    fn flush(&mut self, ctx: &mut Ctx<'_>) {
         match self {
             ValueSender::Flat(c) => c.flush(ctx),
             ValueSender::Clustered(c) => c.flush(ctx),
@@ -200,7 +200,7 @@ impl ValueSender {
 
 /// Runs Awari on one rank; the checksum is this rank's share of the database
 /// checksum.
-pub fn awari_rank(ctx: &mut Ctx, cfg: &AwariConfig, variant: Variant) -> RankOutput {
+pub fn awari_rank(ctx: &mut Ctx<'_>, cfg: &AwariConfig, variant: Variant) -> RankOutput {
     let p = ctx.nprocs();
     let me = ctx.rank();
     let s = cfg.states_per_level;
@@ -397,7 +397,7 @@ pub fn awari_rank(ctx: &mut Ctx, cfg: &AwariConfig, variant: Variant) -> RankOut
     RankOutput::new(checksum, work)
 }
 
-fn relay_forward_edges(ctx: &mut Ctx, msg: &numagap_sim::Message, data_tag: Tag) {
+fn relay_forward_edges(ctx: &mut Ctx<'_>, msg: &numagap_sim::Message, data_tag: Tag) {
     let items = msg.expect_ref::<Vec<(u32, EdgeItem)>>().clone();
     let mut per_dst: HashMap<usize, Vec<EdgeItem>> = HashMap::new();
     for (dst, item) in items {
@@ -412,7 +412,7 @@ fn relay_forward_edges(ctx: &mut Ctx, msg: &numagap_sim::Message, data_tag: Tag)
     }
 }
 
-fn relay_forward_values(ctx: &mut Ctx, msg: &numagap_sim::Message, data_tag: Tag) {
+fn relay_forward_values(ctx: &mut Ctx<'_>, msg: &numagap_sim::Message, data_tag: Tag) {
     let items = msg.expect_ref::<Vec<(u32, ValueItem)>>().clone();
     let mut per_dst: HashMap<usize, Vec<ValueItem>> = HashMap::new();
     for (dst, item) in items {

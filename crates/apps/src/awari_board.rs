@@ -210,9 +210,7 @@ pub fn solve(max_stones: u32) -> Database {
         let n = level_size(s) as usize;
         values.push(solve_level(s, n, &values));
     }
-    Database {
-        values,
-    }
+    Database { values }
 }
 
 fn solve_level(stones: u32, n: usize, below: &[Vec<Wld>]) -> Vec<Wld> {
@@ -296,10 +294,7 @@ fn solve_level(stones: u32, n: usize, below: &[Vec<Wld>]) -> Vec<Wld> {
     }
 
     // The fixpoint's leftovers can cycle forever: draws.
-    value
-        .into_iter()
-        .map(|v| v.unwrap_or(Wld::Draw))
-        .collect()
+    value.into_iter().map(|v| v.unwrap_or(Wld::Draw)).collect()
 }
 
 /// Independent oracle: naive Zermelo sweeps to a fixpoint. Quadratic and
@@ -351,9 +346,7 @@ pub fn solve_by_sweeps(max_stones: u32) -> Database {
         }
         values.push(value.into_iter().map(|v| v.unwrap_or(Wld::Draw)).collect());
     }
-    Database {
-        values,
-    }
+    Database { values }
 }
 
 #[cfg(test)]

@@ -139,7 +139,7 @@ struct OpenState {
 
 /// Runs the distributed solver on one rank; the checksum is this rank's
 /// share of the database checksum.
-pub fn awari_real_rank(ctx: &mut Ctx, cfg: &AwariRealConfig) -> RankOutput {
+pub fn awari_real_rank(ctx: &mut Ctx<'_>, cfg: &AwariRealConfig) -> RankOutput {
     let p = ctx.nprocs();
     let me = ctx.rank();
     // All of my solved states, across levels.
@@ -222,14 +222,7 @@ pub fn awari_real_rank(ctx: &mut Ctx, cfg: &AwariRealConfig) -> RankOutput {
                         subscribers.entry(v_idx).or_default().push(idx);
                     } else {
                         subs_to[owner] += 1;
-                        subscriptions.add(
-                            ctx,
-                            owner,
-                            Subscription {
-                                u_idx: idx,
-                                v_idx,
-                            },
-                        );
+                        subscriptions.add(ctx, owner, Subscription { u_idx: idx, v_idx });
                     }
                 }
             }
@@ -253,14 +246,15 @@ pub fn awari_real_rank(ctx: &mut Ctx, cfg: &AwariRealConfig) -> RankOutput {
         // ---- Phase 2: agree on expected counts ----
         let (t1, t2) = next_coll_tag();
         let combined: Vec<u32> = {
-            let mine: Vec<u32> = reqs_to
-                .iter()
-                .chain(subs_to.iter())
-                .copied()
-                .collect();
-            let total = reduce_flat(ctx, 0, t1, mine, |a, b| {
-                a.iter().zip(b).map(|(x, y)| x + y).collect()
-            }, (2 * p) as u64 * 4);
+            let mine: Vec<u32> = reqs_to.iter().chain(subs_to.iter()).copied().collect();
+            let total = reduce_flat(
+                ctx,
+                0,
+                t1,
+                mine,
+                |a, b| a.iter().zip(b).map(|(x, y)| x + y).collect(),
+                (2 * p) as u64 * 4,
+            );
             bcast_flat(ctx, 0, t2, total, (2 * p) as u64 * 4)
         };
         let my_requests_expected = combined[me] as u64;
@@ -310,7 +304,13 @@ pub fn awari_real_rank(ctx: &mut Ctx, cfg: &AwariRealConfig) -> RankOutput {
                 ctx.compute_ns(items.len() as f64 * cfg.edge_ns);
                 for news in items {
                     resolve_step(
-                        cfg, level, news, &mut open, &mut solved, &mut checksum, &mut wins,
+                        cfg,
+                        level,
+                        news,
+                        &mut open,
+                        &mut solved,
+                        &mut checksum,
+                        &mut wins,
                     );
                 }
             }
@@ -340,10 +340,7 @@ pub fn awari_real_rank(ctx: &mut Ctx, cfg: &AwariRealConfig) -> RankOutput {
                     let value = solved[&(level, v_idx)];
                     for u_idx in subs {
                         let dst = cfg.owner(level, u_idx, p);
-                        outgoing[dst].push(ValueNews {
-                            u_idx,
-                            value,
-                        });
+                        outgoing[dst].push(ValueNews { u_idx, value });
                     }
                 }
             }
@@ -371,7 +368,13 @@ pub fn awari_real_rank(ctx: &mut Ctx, cfg: &AwariRealConfig) -> RankOutput {
                 ctx.compute_ns(items.len() as f64 * cfg.edge_ns);
                 for news in items {
                     resolve_step(
-                        cfg, level, news, &mut open, &mut solved, &mut checksum, &mut wins,
+                        cfg,
+                        level,
+                        news,
+                        &mut open,
+                        &mut solved,
+                        &mut checksum,
+                        &mut wins,
                     );
                 }
             }

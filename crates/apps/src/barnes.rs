@@ -323,7 +323,9 @@ pub struct Octree {
 
 impl std::fmt::Debug for Octree {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Octree").field("nodes", &self.nodes).finish()
+        f.debug_struct("Octree")
+            .field("nodes", &self.nodes)
+            .finish()
     }
 }
 
@@ -352,10 +354,7 @@ impl Octree {
             }
         }
         let nodes = root.as_mut().map_or(0, |r| r.finalize());
-        Octree {
-            root,
-            nodes,
-        }
+        Octree { root, nodes }
     }
 
     /// Total mass in the tree.
@@ -537,7 +536,7 @@ fn relay_tag(step: usize) -> Tag {
 type RelayBundle = Vec<(u32, u32, Vec<PseudoBody>)>;
 
 /// Runs Barnes-Hut on one rank.
-pub fn barnes_rank(ctx: &mut Ctx, cfg: &BarnesConfig, variant: Variant) -> RankOutput {
+pub fn barnes_rank(ctx: &mut Ctx<'_>, cfg: &BarnesConfig, variant: Variant) -> RankOutput {
     let p = ctx.nprocs();
     let me = ctx.rank();
     let all = cfg.generate();
@@ -620,7 +619,12 @@ pub fn barnes_rank(ctx: &mut Ctx, cfg: &BarnesConfig, variant: Variant) -> RankO
                         .iter()
                         .map(|(_, _, b)| 8 + b.len() as u64 * PSEUDO_BODY_BYTES)
                         .sum();
-                    ctx.send(ctx.topology().cluster_root(c), relay_tag(step), bundle, bytes);
+                    ctx.send(
+                        ctx.topology().cluster_root(c),
+                        relay_tag(step),
+                        bundle,
+                        bytes,
+                    );
                 }
             }
         }
@@ -651,7 +655,12 @@ pub fn barnes_rank(ctx: &mut Ctx, cfg: &BarnesConfig, variant: Variant) -> RankO
                         data_left -= 1;
                     } else {
                         let bytes = bodies.len() as u64 * PSEUDO_BODY_BYTES;
-                        ctx.send(*dst as usize, data_tag(step), (*sender, bodies.clone()), bytes);
+                        ctx.send(
+                            *dst as usize,
+                            data_tag(step),
+                            (*sender, bodies.clone()),
+                            bytes,
+                        );
                     }
                 }
             } else {
@@ -834,10 +843,7 @@ mod tests {
         let opt = run(Variant::Optimized);
         // The optimization only reroutes messages; the computed physics is
         // identical to the last bit.
-        assert_eq!(
-            total_checksum(&unopt.results),
-            total_checksum(&opt.results)
-        );
+        assert_eq!(total_checksum(&unopt.results), total_checksum(&opt.results));
         assert!(opt.net_stats.inter_msgs < unopt.net_stats.inter_msgs);
     }
 

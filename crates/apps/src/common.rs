@@ -43,10 +43,7 @@ pub struct RankOutput {
 impl RankOutput {
     /// A rank output with zero work.
     pub fn new(checksum: f64, work: u64) -> Self {
-        RankOutput {
-            checksum,
-            work,
-        }
+        RankOutput { checksum, work }
     }
 }
 

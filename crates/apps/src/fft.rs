@@ -30,10 +30,7 @@ pub struct Cpx {
 impl Cpx {
     /// Constructs a complex number.
     pub const fn new(re: f64, im: f64) -> Self {
-        Cpx {
-            re,
-            im,
-        }
+        Cpx { re, im }
     }
 
     /// `e^{-2πi k / n}` — the DFT root of unity.
@@ -211,7 +208,13 @@ fn transpose_tag(step: usize) -> Tag {
 
 /// Distributed square-matrix transpose: rows are block-distributed; every
 /// processor exchanges sub-blocks with every other (personalized all-to-all).
-fn dist_transpose(ctx: &mut Ctx, rows: Vec<Vec<Cpx>>, s: usize, step: usize, element_ns: f64) -> Vec<Vec<Cpx>> {
+fn dist_transpose(
+    ctx: &mut Ctx<'_>,
+    rows: Vec<Vec<Cpx>>,
+    s: usize,
+    step: usize,
+    element_ns: f64,
+) -> Vec<Vec<Cpx>> {
     let p = ctx.nprocs();
     let me = ctx.rank();
     let (lo, hi) = block_range(s, p, me);
@@ -268,7 +271,7 @@ fn dist_transpose(ctx: &mut Ctx, rows: Vec<Vec<Cpx>>, s: usize, step: usize, ele
 /// Runs the distributed FFT on one rank, returning the checksum over this
 /// rank's slice of the spectrum. `variant` is accepted for suite uniformity
 /// but ignored — the paper found no optimization for FFT.
-pub fn fft_rank(ctx: &mut Ctx, cfg: &FftConfig, _variant: Variant) -> RankOutput {
+pub fn fft_rank(ctx: &mut Ctx<'_>, cfg: &FftConfig, _variant: Variant) -> RankOutput {
     let s = cfg.side();
     let p = ctx.nprocs();
     assert!(
@@ -279,9 +282,7 @@ pub fn fft_rank(ctx: &mut Ctx, cfg: &FftConfig, _variant: Variant) -> RankOutput
     let (lo, hi) = block_range(s, p, me);
     let x = cfg.generate();
     // Initial layout: row-major S×S matrix, my rows are lo..hi.
-    let mut rows: Vec<Vec<Cpx>> = (lo..hi)
-        .map(|r| x[r * s..(r + 1) * s].to_vec())
-        .collect();
+    let mut rows: Vec<Vec<Cpx>> = (lo..hi).map(|r| x[r * s..(r + 1) * s].to_vec()).collect();
     let n = cfg.n();
     let butterflies_per_row = (s / 2) * s.trailing_zeros() as usize;
 

@@ -89,7 +89,7 @@ pub fn serial_power(cfg: &PowerConfig) -> f64 {
 
 /// Runs the distributed kernel on one rank with the given collectives
 /// algorithm. The checksum (on rank 0) is the dominant-eigenvalue estimate.
-pub fn power_rank(ctx: &mut Ctx, cfg: &PowerConfig, algo: Algo) -> RankOutput {
+pub fn power_rank(ctx: &mut Ctx<'_>, cfg: &PowerConfig, algo: Algo) -> RankOutput {
     let n = cfg.n;
     let p = ctx.nprocs();
     let me = ctx.rank();

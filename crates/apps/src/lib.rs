@@ -23,16 +23,16 @@
 #![warn(missing_debug_implementations)]
 
 pub mod asp;
-pub mod fft;
-pub mod kernels;
-pub mod tsp;
-pub mod water;
 pub mod awari;
 pub mod awari_board;
 pub mod awari_real;
 pub mod barnes;
 pub mod common;
+pub mod fft;
+pub mod kernels;
 pub mod suite;
+pub mod tsp;
+pub mod water;
 
 pub use common::{total_checksum, total_work, RankOutput, Variant};
-pub use suite::{run_app, serial_checksum, checksum_tolerance, AppId, AppRun, Scale, SuiteConfig};
+pub use suite::{checksum_tolerance, run_app, serial_checksum, AppId, AppRun, Scale, SuiteConfig};

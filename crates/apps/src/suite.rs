@@ -9,7 +9,7 @@ use numagap_net::NetStats;
 use numagap_rt::{Machine, RunReport};
 use numagap_sim::{SimDuration, SimError};
 
-use crate::asp::{matrix_checksum, serial_asp, asp_rank, AspConfig};
+use crate::asp::{asp_rank, matrix_checksum, serial_asp, AspConfig};
 use crate::awari::{awari_rank, serial_awari, AwariConfig};
 use crate::barnes::{barnes_rank, serial_barnes, BarnesConfig};
 use crate::common::{total_checksum, total_work, RankOutput, Variant};

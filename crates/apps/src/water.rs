@@ -197,13 +197,13 @@ type Positions = Vec<[f64; 3]>;
 type Addressed = (u32, Vec<[f64; 3]>);
 
 /// The coordinator in cluster `cluster` for remote processor `s`.
-fn coordinator(ctx: &Ctx, cluster: usize, s: usize) -> usize {
+fn coordinator(ctx: &Ctx<'_>, cluster: usize, s: usize) -> usize {
     let members = ctx.topology().members(cluster);
     members[s % members.len()]
 }
 
 /// Runs Water on one rank.
-pub fn water_rank(ctx: &mut Ctx, cfg: &WaterConfig, variant: Variant) -> RankOutput {
+pub fn water_rank(ctx: &mut Ctx<'_>, cfg: &WaterConfig, variant: Variant) -> RankOutput {
     let p = ctx.nprocs();
     let me = ctx.rank();
     let all = cfg.generate();
@@ -462,7 +462,7 @@ fn block_len(n: usize, p: usize, i: usize) -> usize {
 }
 
 /// Number of procs in `cluster` whose `needs` set contains `target`.
-fn needs_contributors(target: usize, p: usize, ctx: &Ctx, cluster: usize) -> usize {
+fn needs_contributors(target: usize, p: usize, ctx: &Ctx<'_>, cluster: usize) -> usize {
     ctx.topology()
         .members(cluster)
         .iter()
@@ -546,10 +546,7 @@ mod tests {
                 Variant::Unoptimized,
                 Machine::new(uniform_spec(p)),
             );
-            assert!(
-                rel_err(got, expected) < 1e-9,
-                "p={p}: {got} vs {expected}"
-            );
+            assert!(rel_err(got, expected) < 1e-9, "p={p}: {got} vs {expected}");
         }
     }
 
@@ -558,11 +555,8 @@ mod tests {
         let cfg = WaterConfig::small();
         let expected = serial_water(&cfg);
         for variant in [Variant::Unoptimized, Variant::Optimized] {
-            let got = parallel_checksum(
-                cfg.clone(),
-                variant,
-                Machine::new(das_spec(4, 2, 5.0, 1.0)),
-            );
+            let got =
+                parallel_checksum(cfg.clone(), variant, Machine::new(das_spec(4, 2, 5.0, 1.0)));
             assert!(
                 rel_err(got, expected) < 1e-9,
                 "{variant}: {got} vs {expected}"

@@ -57,12 +57,19 @@ fn real_awari_build() {
     println!("  (the within-level fixpoint needs a global round per propagation");
     println!("   step, so real retrograde analysis is brutally latency-bound —");
     println!("   the structural reason the paper's Awari never tolerates a gap)");
-    write_csv("ablation_real_awari.csv", "latency_ms,elapsed_s,inter_msgs", &rows);
+    write_csv(
+        "ablation_real_awari.csv",
+        "latency_ms,elapsed_s,inter_msgs",
+        &rows,
+    );
 }
 
 fn awari_combining_threshold() {
     println!("== Ablation 1: Awari combining threshold (optimized, 3.3 ms / 1 MB/s) ==\n");
-    println!("{:>10} {:>12} {:>14}", "threshold", "runtime (s)", "WAN msgs");
+    println!(
+        "{:>10} {:>12} {:>14}",
+        "threshold", "runtime (s)", "WAN msgs"
+    );
     let mut rows = Vec::new();
     for combine in [1usize, 4, 16, 64, 256] {
         let cfg = AwariConfig {
@@ -87,7 +94,11 @@ fn awari_combining_threshold() {
     println!("  (small thresholds drown in per-message cost; past the sweet spot");
     println!("   further combining stops helping — what remains is the stage-end");
     println!("   starvation the paper describes)\n");
-    write_csv("ablation_awari_combine.csv", "combine,elapsed_s,inter_msgs", &rows);
+    write_csv(
+        "ablation_awari_combine.csv",
+        "combine,elapsed_s,inter_msgs",
+        &rows,
+    );
 }
 
 fn gateway_overhead_sweep() {
@@ -113,7 +124,10 @@ fn gateway_overhead_sweep() {
             "{us:>12} {:>14.3} {:>14.3} {gain:>9.2}x",
             elapsed[0], elapsed[1]
         );
-        rows.push(format!("{us},{:.6},{:.6},{gain:.3}", elapsed[0], elapsed[1]));
+        rows.push(format!(
+            "{us},{:.6},{:.6},{gain:.3}",
+            elapsed[0], elapsed[1]
+        ));
     }
     println!("  (with free gateways, combining buys little; as per-message cost");
     println!("   grows, the second combining level becomes decisive)\n");
@@ -200,7 +214,11 @@ fn latency_jitter() {
         let report = Machine::new(spec)
             .run(move |ctx| water_rank(ctx, &cfg, Variant::Optimized))
             .expect("water run");
-        println!("{:>9.0}% {:>14.3}", jitter * 100.0, report.elapsed.as_secs_f64());
+        println!(
+            "{:>9.0}% {:>14.3}",
+            jitter * 100.0,
+            report.elapsed.as_secs_f64()
+        );
         rows.push(format!("{jitter},{:.6}", report.elapsed.as_secs_f64()));
     }
     println!("  (bulk-synchronous phases wait for the slowest message, so");

@@ -63,14 +63,10 @@ fn wan_topologies() {
     let (lat_ms, bw) = (1.0, 0.3);
     let topologies = [
         WanTopology::FullMesh,
-        WanTopology::Star {
-            hub: 0,
-        },
+        WanTopology::Star { hub: 0 },
         WanTopology::Ring,
     ];
-    println!(
-        "\n== WAN wiring: 8 clusters x 4 processors, {lat_ms} ms / {bw} MB/s ==\n"
-    );
+    println!("\n== WAN wiring: 8 clusters x 4 processors, {lat_ms} ms / {bw} MB/s ==\n");
     print!("{:<12}", "Program");
     for t in &topologies {
         print!(" {:>12}", t.label());

@@ -55,7 +55,12 @@ fn main() {
         };
         print!("{:<12}", app.to_string());
         for &lat in &lats {
-            let run = must_run(*app, &cfg, variant, &wan_machine(lat, FIG4_FIXED_BANDWIDTH_MBS));
+            let run = must_run(
+                *app,
+                &cfg,
+                variant,
+                &wan_machine(lat, FIG4_FIXED_BANDWIDTH_MBS),
+            );
             let pct = comm_time_pct(*tl, run.elapsed);
             print!(" {pct:>6.1}%");
             rows.push(format!(

@@ -11,7 +11,13 @@ use numagap_sim::SimDuration;
 /// Runs `iters` repetitions of one collective and returns mean completion
 /// time. Iterations are barrier-separated so they do not overlap, and the
 /// cost of the barriers themselves is measured separately and subtracted.
-fn time_op(machine: &Machine, algo: Algo, iters: usize, op: &'static str, elems: usize) -> SimDuration {
+fn time_op(
+    machine: &Machine,
+    algo: Algo,
+    iters: usize,
+    op: &'static str,
+    elems: usize,
+) -> SimDuration {
     let measure = |with_op: bool| {
         let report = machine
             .run(move |ctx| {
@@ -38,7 +44,7 @@ fn time_op(machine: &Machine, algo: Algo, iters: usize, op: &'static str, elems:
     SimDuration::from_nanos(net.as_nanos() / iters as u64)
 }
 
-fn run_one(ctx: &mut Ctx, coll: &mut Coll, op: &str, elems: usize) {
+fn run_one(ctx: &mut Ctx<'_>, coll: &mut Coll, op: &str, elems: usize) {
     let me = ctx.rank();
     let p = ctx.nprocs();
     let vec = vec![1.0f64; elems];
@@ -65,11 +71,7 @@ fn run_one(ctx: &mut Ctx, coll: &mut Coll, op: &str, elems: usize) {
             coll.gatherv(ctx, 0, vec![me as f64; elems / 2 + me % 3]);
         }
         "scatter" => {
-            let data = if me == 0 {
-                Some(vec![vec; p])
-            } else {
-                None
-            };
+            let data = if me == 0 { Some(vec![vec; p]) } else { None };
             coll.scatterv(ctx, 0, data);
         }
         "scatterv" => {
@@ -92,7 +94,9 @@ fn run_one(ctx: &mut Ctx, coll: &mut Coll, op: &str, elems: usize) {
         "alltoallv" => {
             coll.alltoallv(
                 ctx,
-                (0..p).map(|q| vec![1.0f64; elems / p.max(1) + q % 3]).collect(),
+                (0..p)
+                    .map(|q| vec![1.0f64; elems / p.max(1) + q % 3])
+                    .collect(),
             );
         }
         "scan" => {
@@ -163,7 +167,10 @@ fn main() {
     // The paper: "the system's advantage increases for higher wide area
     // latencies". Show the scan speedup as latency grows.
     println!("\n-- speedup growth with wide-area latency (scan, 16 KB) --");
-    println!("{:<12} {:>12} {:>14} {:>8}", "latency", "flat (ms)", "aware (ms)", "speedup");
+    println!(
+        "{:<12} {:>12} {:>14} {:>8}",
+        "latency", "flat (ms)", "aware (ms)", "speedup"
+    );
     let mut rows = Vec::new();
     for lat in [1.0, 3.3, 10.0, 30.0, 100.0] {
         let machine = wan_machine(lat, 1.0);
@@ -183,7 +190,11 @@ fn main() {
             aware.as_secs_f64()
         ));
     }
-    write_csv("magpie_latency.csv", "latency_ms,flat_s,aware_s,speedup", &rows);
+    write_csv(
+        "magpie_latency.csv",
+        "latency_ms,flat_s,aware_s,speedup",
+        &rows,
+    );
 
     // The paper: "Application kernels improve by up to a factor of 4."
     // A collective-bound power-iteration kernel, whole-program time.
@@ -219,5 +230,9 @@ fn main() {
         ));
     }
     println!("  (paper: kernels improve by up to a factor of 4)");
-    write_csv("magpie_kernel.csv", "latency_ms,flat_s,aware_s,speedup", &rows);
+    write_csv(
+        "magpie_kernel.csv",
+        "latency_ms,flat_s,aware_s,speedup",
+        &rows,
+    );
 }

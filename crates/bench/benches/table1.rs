@@ -17,9 +17,24 @@ fn main() {
     );
     let mut rows = Vec::new();
     for app in AppId::ALL {
-        let serial = must_run(app, &cfg, Variant::Unoptimized, &Machine::new(uniform_spec(1)));
-        let p8 = must_run(app, &cfg, Variant::Unoptimized, &Machine::new(uniform_spec(8)));
-        let p32 = must_run(app, &cfg, Variant::Unoptimized, &Machine::new(uniform_spec(32)));
+        let serial = must_run(
+            app,
+            &cfg,
+            Variant::Unoptimized,
+            &Machine::new(uniform_spec(1)),
+        );
+        let p8 = must_run(
+            app,
+            &cfg,
+            Variant::Unoptimized,
+            &Machine::new(uniform_spec(8)),
+        );
+        let p32 = must_run(
+            app,
+            &cfg,
+            Variant::Unoptimized,
+            &Machine::new(uniform_spec(32)),
+        );
         let s8 = serial.elapsed.as_secs_f64() / p8.elapsed.as_secs_f64();
         let s32 = serial.elapsed.as_secs_f64() / p32.elapsed.as_secs_f64();
         println!(
@@ -44,7 +59,10 @@ fn main() {
     );
 
     println!("\n== Table 2: communication patterns and optimizations ==\n");
-    println!("{:<12} {:<28} {:<30}", "Program", "Communication", "Optimization");
+    println!(
+        "{:<12} {:<28} {:<30}",
+        "Program", "Communication", "Optimization"
+    );
     for app in AppId::ALL {
         println!(
             "{:<12} {:<28} {:<30}",

@@ -68,7 +68,12 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) {
 
 /// The standard multi-cluster machine with the given WAN parameters.
 pub fn wan_machine(latency_ms: f64, bandwidth_mbs: f64) -> Machine {
-    Machine::new(das_spec(CLUSTERS, PROCS_PER_CLUSTER, latency_ms, bandwidth_mbs))
+    Machine::new(das_spec(
+        CLUSTERS,
+        PROCS_PER_CLUSTER,
+        latency_ms,
+        bandwidth_mbs,
+    ))
 }
 
 /// The all-Myrinet single-cluster machine with the same processor count.
@@ -79,8 +84,7 @@ pub fn baseline_machine() -> Machine {
 /// Runs an app and panics with context on simulator failure (benches have no
 /// graceful recovery path).
 pub fn must_run(app: AppId, cfg: &SuiteConfig, variant: Variant, machine: &Machine) -> AppRun {
-    run_app(app, cfg, variant, machine)
-        .unwrap_or_else(|e| panic!("{app}/{variant} failed: {e}"))
+    run_app(app, cfg, variant, machine).unwrap_or_else(|e| panic!("{app}/{variant} failed: {e}"))
 }
 
 /// The paper's relative-speedup metric: `T_singlecluster / T_multicluster`

@@ -5,6 +5,7 @@
 //!             --latency 10 --bandwidth 1.0 [--scale medium] [--verify] \
 //!             [--jitter 0.2] [--trace out.json]
 //! numagap suite [machine flags]          # all six apps, both variants
+//! numagap check [--app X] [machine flags]  # communication sanitizer
 //! numagap info [machine flags]           # print the machine and its gap
 //! numagap help
 //! ```
@@ -16,6 +17,7 @@
 
 use std::fmt;
 
+use numagap_analysis::{check_rank_lints, Analysis, Diagnostic, DiagnosticKind};
 use numagap_apps::{
     checksum_tolerance, run_app, serial_checksum, AppId, Scale, SuiteConfig, Variant,
 };
@@ -29,6 +31,8 @@ pub enum Command {
     Run(RunArgs),
     /// Run the whole suite.
     Suite(MachineArgs),
+    /// Run the communication sanitizer over applications.
+    Check(CheckArgs),
     /// Describe the machine.
     Info(MachineArgs),
     /// Build a real Awari endgame database.
@@ -72,8 +76,13 @@ impl Default for MachineArgs {
 impl MachineArgs {
     /// Builds the interconnect spec.
     pub fn spec(&self) -> TwoLayerSpec {
-        das_spec(self.clusters, self.procs, self.latency_ms, self.bandwidth_mbs)
-            .wan_latency_jitter(self.jitter)
+        das_spec(
+            self.clusters,
+            self.procs,
+            self.latency_ms,
+            self.bandwidth_mbs,
+        )
+        .wan_latency_jitter(self.jitter)
     }
 }
 
@@ -92,6 +101,19 @@ pub struct RunArgs {
     pub verify: bool,
     /// Write a Chrome trace JSON to this path.
     pub trace: Option<String>,
+}
+
+/// Flags of the `check` command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckArgs {
+    /// Check only this application (all six when unset).
+    pub app: Option<AppId>,
+    /// Check only this variant (both when unset).
+    pub variant: Option<Variant>,
+    /// Problem scale.
+    pub scale: Scale,
+    /// Machine shape.
+    pub machine: MachineArgs,
 }
 
 /// A parse failure with a user-facing message.
@@ -156,8 +178,8 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
         Some(c) => c,
     };
     let mut app = None;
-    let mut variant = Variant::Optimized;
-    let mut scale = Scale::Medium;
+    let mut variant = None;
+    let mut scale = None;
     let mut machine = MachineArgs::default();
     let mut verify = false;
     let mut trace = None;
@@ -165,8 +187,8 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
     while let Some(flag) = it.next() {
         match flag {
             "--app" => app = Some(parse_app(take_value(flag, &mut it)?)?),
-            "--variant" => variant = parse_variant(take_value(flag, &mut it)?)?,
-            "--scale" => scale = parse_scale(take_value(flag, &mut it)?)?,
+            "--variant" => variant = Some(parse_variant(take_value(flag, &mut it)?)?),
+            "--scale" => scale = Some(parse_scale(take_value(flag, &mut it)?)?),
             "--clusters" => machine.clusters = parse_num(flag, take_value(flag, &mut it)?)?,
             "--procs" => machine.procs = parse_num(flag, take_value(flag, &mut it)?)?,
             "--latency" => machine.latency_ms = parse_num(flag, take_value(flag, &mut it)?)?,
@@ -183,19 +205,24 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             let app = app.ok_or_else(|| ParseError("run requires --app".into()))?;
             Ok(Command::Run(RunArgs {
                 app,
-                variant,
-                scale,
+                variant: variant.unwrap_or(Variant::Optimized),
+                scale: scale.unwrap_or(Scale::Medium),
                 machine,
                 verify,
                 trace,
             }))
         }
         "suite" => Ok(Command::Suite(machine)),
-        "info" => Ok(Command::Info(machine)),
-        "awari-db" => Ok(Command::AwariDb {
-            stones,
+        // The sanitizer sweep defaults to the small scale: it visits every
+        // app/variant pair, and findings do not depend on problem size.
+        "check" => Ok(Command::Check(CheckArgs {
+            app,
+            variant,
+            scale: scale.unwrap_or(Scale::Small),
             machine,
-        }),
+        })),
+        "info" => Ok(Command::Info(machine)),
+        "awari-db" => Ok(Command::AwariDb { stones, machine }),
         other => Err(ParseError(format!("unknown command '{other}'"))),
     }
 }
@@ -208,6 +235,7 @@ USAGE:
   numagap run --app <water|barnes|tsp|asp|awari|fft> [OPTIONS]
   numagap awari-db [--stones <N>] [MACHINE OPTIONS]
   numagap suite [MACHINE OPTIONS]
+  numagap check [--app <name>] [--variant <unopt|opt>] [MACHINE OPTIONS]
   numagap info  [MACHINE OPTIONS]
   numagap help
 
@@ -223,6 +251,13 @@ MACHINE OPTIONS:
   --latency <ms>             one-way WAN latency        [default: 10]
   --bandwidth <MB/s>         WAN bandwidth per link     [default: 1.0]
   --jitter <0..1>            WAN latency variation      [default: 0]
+
+CHECK:
+  Runs each selected app under the communication sanitizer and reports
+  message races, lost messages, deadlock cycles and protocol lints.
+  Exits nonzero if any unwaived diagnostic fires (the waiver table for
+  known-benign patterns is in the source, with reasons). Defaults to all
+  six apps, both variants, small scale.
 ";
 
 /// Executes a parsed command; returns the process exit code.
@@ -274,15 +309,14 @@ pub fn execute(cmd: Command) -> i32 {
             }
             let serial = serial_awari_real(&cfg);
             let cfg2 = cfg.clone();
-            let report = match Machine::new(machine.spec())
-                .run(move |ctx| awari_real_rank(ctx, &cfg2))
-            {
-                Ok(r) => r,
-                Err(e) => {
-                    eprintln!("simulation failed: {e}");
-                    return 1;
-                }
-            };
+            let report =
+                match Machine::new(machine.spec()).run(move |ctx| awari_real_rank(ctx, &cfg2)) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("simulation failed: {e}");
+                        return 1;
+                    }
+                };
             let parallel: f64 = report.results.iter().map(|r| r.checksum).sum();
             println!("\nparallel build:  {} virtual", report.elapsed);
             println!("wide-area load:  {} messages", report.net_stats.inter_msgs);
@@ -331,6 +365,70 @@ pub fn execute(cmd: Command) -> i32 {
                 }
             }
             i32::from(failures > 0)
+        }
+        Command::Check(args) => {
+            let cfg = SuiteConfig::at(args.scale);
+            let machine = Machine::new(args.machine.spec());
+            let apps: Vec<AppId> = match args.app {
+                Some(app) => vec![app],
+                None => AppId::ALL.to_vec(),
+            };
+            let variants: Vec<Variant> = match args.variant {
+                Some(v) => vec![v],
+                None => vec![Variant::Unoptimized, Variant::Optimized],
+            };
+            println!(
+                "sanitizing {} on {}",
+                if apps.len() == 1 {
+                    apps[0].to_string()
+                } else {
+                    format!("{} apps", apps.len())
+                },
+                machine.spec().topology.label()
+            );
+            let mut unwaived_total = 0usize;
+            for &app in &apps {
+                for &variant in &variants {
+                    let (diags, run_error) = check_app(app, &cfg, variant, &machine);
+                    let mut unwaived = 0usize;
+                    let mut waived_count = 0usize;
+                    let mut lines = Vec::new();
+                    for d in &diags {
+                        match waived(app, variant, d.kind) {
+                            Some(reason) => {
+                                waived_count += 1;
+                                lines.push(format!("    {d} (waived: {reason})"));
+                            }
+                            None => {
+                                unwaived += 1;
+                                lines.push(format!("    {d}"));
+                            }
+                        }
+                    }
+                    let verdict = if unwaived > 0 {
+                        format!("{unwaived} finding(s), {waived_count} waived")
+                    } else if waived_count > 0 {
+                        format!("clean ({waived_count} waived)")
+                    } else {
+                        "clean".to_string()
+                    };
+                    println!("  {app:<7} {variant:<12} {verdict}");
+                    for line in lines {
+                        println!("{line}");
+                    }
+                    if let Some(e) = run_error {
+                        println!("    run aborted: {e}");
+                    }
+                    unwaived_total += unwaived;
+                }
+            }
+            if unwaived_total > 0 {
+                println!("FAILED: {unwaived_total} unwaived diagnostic(s)");
+                1
+            } else {
+                println!("all checks passed");
+                0
+            }
         }
         Command::Run(args) => {
             let cfg = SuiteConfig::at(args.scale);
@@ -403,6 +501,147 @@ pub fn execute(cmd: Command) -> i32 {
     }
 }
 
+/// Runs one app/variant under the sanitizer; returns every diagnostic
+/// (online findings, runtime lints, and — on an aborted run — the deadlock
+/// decomposition) plus the run error, if any.
+pub fn check_app(
+    app: AppId,
+    cfg: &SuiteConfig,
+    variant: Variant,
+    machine: &Machine,
+) -> (Vec<Diagnostic>, Option<String>) {
+    use numagap_apps::asp::asp_rank;
+    use numagap_apps::awari::awari_rank;
+    use numagap_apps::barnes::barnes_rank;
+    use numagap_apps::fft::fft_rank;
+    use numagap_apps::tsp::tsp_rank;
+    use numagap_apps::water::water_rank;
+
+    let analysis = Analysis::new(machine.spec().topology.nprocs());
+    let observer = analysis.observer();
+    let result = match app {
+        AppId::Water => {
+            let c = cfg.water.clone();
+            machine.run_observed(
+                move |ctx| {
+                    water_rank(ctx, &c, variant);
+                },
+                observer,
+            )
+        }
+        AppId::Barnes => {
+            let c = cfg.barnes.clone();
+            machine.run_observed(
+                move |ctx| {
+                    barnes_rank(ctx, &c, variant);
+                },
+                observer,
+            )
+        }
+        AppId::Tsp => {
+            let c = cfg.tsp.clone();
+            machine.run_observed(
+                move |ctx| {
+                    tsp_rank(ctx, &c, variant);
+                },
+                observer,
+            )
+        }
+        AppId::Asp => {
+            let c = cfg.asp.clone();
+            machine.run_observed(
+                move |ctx| {
+                    asp_rank(ctx, &c, variant);
+                },
+                observer,
+            )
+        }
+        AppId::Awari => {
+            let c = cfg.awari.clone();
+            machine.run_observed(
+                move |ctx| {
+                    awari_rank(ctx, &c, variant);
+                },
+                observer,
+            )
+        }
+        AppId::Fft => {
+            let c = cfg.fft.clone();
+            machine.run_observed(
+                move |ctx| {
+                    fft_rank(ctx, &c, variant);
+                },
+                observer,
+            )
+        }
+    };
+    let mut diags = analysis.diagnostics();
+    match result {
+        Ok(report) => {
+            diags.extend(check_rank_lints(&report.rank_lints));
+            (diags, None)
+        }
+        Err(e) => {
+            diags.extend(analysis.diagnose_error(&e));
+            (diags, Some(e.to_string()))
+        }
+    }
+}
+
+/// The waiver table for `numagap check`: communication patterns the suite's
+/// applications use *by design* that the sanitizer rightly reports for
+/// unknown programs. Each entry documents why the pattern is benign here.
+pub fn waived(app: AppId, variant: Variant, kind: DiagnosticKind) -> Option<&'static str> {
+    let _ = variant;
+    match (app, kind) {
+        // TSP is a master/worker branch-and-bound: workers pull jobs from a
+        // central queue with wildcard receives, and which worker gets which
+        // job is intentionally timing-dependent. The result is made
+        // deterministic by the pruning bound, not by message order.
+        (AppId::Tsp, DiagnosticKind::MessageRace) => Some(
+            "work-queue nondeterminism is inherent to branch-and-bound; \
+                  the pruning bound makes the tour length order-independent",
+        ),
+        // Awari's distributed retrograde analysis exchanges batched updates
+        // between peers with wildcard receives; update application is
+        // commutative (min/max over game values), so arrival order is
+        // immaterial.
+        (AppId::Awari, DiagnosticKind::MessageRace) => Some(
+            "retrograde-analysis updates commute (monotone min/max), \
+                  so batch arrival order cannot change the fixpoint",
+        ),
+        // Water gathers position batches and force contributions from all
+        // peers under one tag set. Batches are keyed by molecule index and
+        // forces are summed — a commutative reduction — so which peer's
+        // message matches first cannot change the result.
+        (AppId::Water, DiagnosticKind::MessageRace) => Some(
+            "position/force batches are keyed by molecule index and \
+                  force accumulation is a commutative sum",
+        ),
+        // Barnes-Hut gathers per-step bounding boxes (a min/max reduction)
+        // and body batches that carry their own indices; both are
+        // order-insensitive by construction.
+        (AppId::Barnes, DiagnosticKind::MessageRace) => Some(
+            "bbox gather is a min/max reduction and body batches carry \
+                  their own indices; arrival order is immaterial",
+        ),
+        // ASP receives pivot-row broadcasts under per-row tags (plus the
+        // sequencer protocol) and buffers early rows until round k consumes
+        // them, so interleaving across rows cannot alter the iteration.
+        (AppId::Asp, DiagnosticKind::MessageRace) => Some(
+            "pivot rows are keyed by their round tag and buffered until \
+                  consumed in round order",
+        ),
+        // FFT's transpose receives one chunk per peer under a single tag and
+        // scatters it by the sender rank the message carries.
+        (AppId::Fft, DiagnosticKind::MessageRace) => Some(
+            "transpose chunks are placed by sender rank, so match order \
+                  is immaterial",
+        ),
+        _ => None,
+    }
+}
+
 fn trace_run(
     app: AppId,
     cfg: &SuiteConfig,
@@ -442,10 +681,7 @@ fn trace_run(
             machine.run(move |ctx| fft_rank(ctx, &c, variant))?
         }
     };
-    Ok(report
-        .trace
-        .expect("tracing was enabled")
-        .to_chrome_json())
+    Ok(report.trace.expect("tracing was enabled").to_chrome_json())
 }
 
 #[cfg(test)]
@@ -455,8 +691,22 @@ mod tests {
     #[test]
     fn parses_run() {
         let cmd = parse(&[
-            "run", "--app", "asp", "--variant", "unopt", "--clusters", "2", "--procs", "4",
-            "--latency", "3.3", "--bandwidth", "0.5", "--scale", "small", "--verify",
+            "run",
+            "--app",
+            "asp",
+            "--variant",
+            "unopt",
+            "--clusters",
+            "2",
+            "--procs",
+            "4",
+            "--latency",
+            "3.3",
+            "--bandwidth",
+            "0.5",
+            "--scale",
+            "small",
+            "--verify",
         ])
         .unwrap();
         match cmd {
@@ -507,7 +757,17 @@ mod tests {
 
     #[test]
     fn awari_db_parses_and_runs() {
-        match parse(&["awari-db", "--stones", "3", "--clusters", "2", "--procs", "2"]).unwrap() {
+        match parse(&[
+            "awari-db",
+            "--stones",
+            "3",
+            "--clusters",
+            "2",
+            "--procs",
+            "2",
+        ])
+        .unwrap()
+        {
             Command::AwariDb { stones, machine } => {
                 assert_eq!(stones, 3);
                 assert_eq!(machine.clusters, 2);
@@ -515,7 +775,16 @@ mod tests {
             other => panic!("expected awari-db, got {other:?}"),
         }
         let code = execute(
-            parse(&["awari-db", "--stones", "2", "--clusters", "2", "--procs", "2"]).unwrap(),
+            parse(&[
+                "awari-db",
+                "--stones",
+                "2",
+                "--clusters",
+                "2",
+                "--procs",
+                "2",
+            ])
+            .unwrap(),
         );
         assert_eq!(code, 0);
     }
@@ -540,10 +809,61 @@ mod tests {
     }
 
     #[test]
+    fn parses_check_with_defaults() {
+        match parse(&["check"]).unwrap() {
+            Command::Check(args) => {
+                assert_eq!(args.app, None, "all apps by default");
+                assert_eq!(args.variant, None, "both variants by default");
+                assert_eq!(args.scale, Scale::Small);
+            }
+            other => panic!("expected check, got {other:?}"),
+        }
+        match parse(&[
+            "check",
+            "--app",
+            "tsp",
+            "--variant",
+            "opt",
+            "--clusters",
+            "2",
+        ])
+        .unwrap()
+        {
+            Command::Check(args) => {
+                assert_eq!(args.app, Some(AppId::Tsp));
+                assert_eq!(args.variant, Some(Variant::Optimized));
+                assert_eq!(args.machine.clusters, 2);
+            }
+            other => panic!("expected check, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn check_executes_clean_on_small_machine() {
+        let cmd = parse(&["check", "--app", "fft", "--clusters", "2", "--procs", "2"]).unwrap();
+        assert_eq!(execute(cmd), 0);
+    }
+
+    #[test]
+    fn waivers_only_cover_documented_patterns() {
+        assert!(waived(AppId::Tsp, Variant::Optimized, DiagnosticKind::MessageRace).is_some());
+        assert!(waived(AppId::Tsp, Variant::Optimized, DiagnosticKind::LostMessage).is_none());
+        assert!(waived(AppId::Water, Variant::Unoptimized, DiagnosticKind::Deadlock).is_none());
+    }
+
+    #[test]
     fn run_executes_end_to_end() {
         // Smallest possible smoke: run ASP small on a tiny machine.
         let cmd = parse(&[
-            "run", "--app", "asp", "--scale", "small", "--clusters", "2", "--procs", "2",
+            "run",
+            "--app",
+            "asp",
+            "--scale",
+            "small",
+            "--clusters",
+            "2",
+            "--procs",
+            "2",
             "--verify",
         ])
         .unwrap();

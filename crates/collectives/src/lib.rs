@@ -139,7 +139,7 @@ impl Coll {
     // ------------------------------------------------------------------
 
     /// MPI_Barrier: returns only after every rank has entered.
-    pub fn barrier(&mut self, ctx: &mut Ctx) {
+    pub fn barrier(&mut self, ctx: &mut Ctx<'_>) {
         let t1 = self.next_tag();
         let t2 = self.next_tag();
         match self.algo {
@@ -164,7 +164,7 @@ impl Coll {
     /// # Panics
     ///
     /// Panics if the root passes `None` or a non-root passes `Some`.
-    pub fn bcast<T: Wire>(&mut self, ctx: &mut Ctx, root: usize, data: Option<T>) -> T {
+    pub fn bcast<T: Wire>(&mut self, ctx: &mut Ctx<'_>, root: usize, data: Option<T>) -> T {
         if ctx.rank() == root {
             assert!(data.is_some(), "bcast root must supply data");
         } else {
@@ -186,7 +186,7 @@ impl Coll {
     /// `Some(total)` at the root.
     pub fn reduce<T: Wire, F: Fn(&T, &T) -> T>(
         &mut self,
-        ctx: &mut Ctx,
+        ctx: &mut Ctx<'_>,
         root: usize,
         contrib: T,
         op: F,
@@ -206,7 +206,7 @@ impl Coll {
     /// MPI_Allreduce: everyone gets the reduction result.
     pub fn allreduce<T: Wire, F: Fn(&T, &T) -> T>(
         &mut self,
-        ctx: &mut Ctx,
+        ctx: &mut Ctx<'_>,
         contrib: T,
         op: F,
     ) -> T {
@@ -219,7 +219,12 @@ impl Coll {
     // ------------------------------------------------------------------
 
     /// MPI_Gather: the root receives every rank's value, in rank order.
-    pub fn gather<T: Wire>(&mut self, ctx: &mut Ctx, root: usize, contrib: T) -> Option<Vec<T>> {
+    pub fn gather<T: Wire>(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        root: usize,
+        contrib: T,
+    ) -> Option<Vec<T>> {
         self.gatherv(ctx, root, vec![contrib])
             .map(|vs| vs.into_iter().map(|mut v| v.remove(0)).collect())
     }
@@ -227,7 +232,7 @@ impl Coll {
     /// MPI_Gatherv: like gather with per-rank variable-length vectors.
     pub fn gatherv<T: Wire>(
         &mut self,
-        ctx: &mut Ctx,
+        ctx: &mut Ctx<'_>,
         root: usize,
         contrib: Vec<T>,
     ) -> Option<Vec<Vec<T>>> {
@@ -312,7 +317,7 @@ impl Coll {
     // ------------------------------------------------------------------
 
     /// MPI_Scatter: the root distributes one value per rank.
-    pub fn scatter<T: Wire>(&mut self, ctx: &mut Ctx, root: usize, data: Option<Vec<T>>) -> T {
+    pub fn scatter<T: Wire>(&mut self, ctx: &mut Ctx<'_>, root: usize, data: Option<Vec<T>>) -> T {
         let wrapped = data.map(|vs| vs.into_iter().map(|v| vec![v]).collect());
         let mut v = self.scatterv(ctx, root, wrapped);
         v.remove(0)
@@ -325,7 +330,7 @@ impl Coll {
     /// Panics if the root's vector does not have one entry per rank.
     pub fn scatterv<T: Wire>(
         &mut self,
-        ctx: &mut Ctx,
+        ctx: &mut Ctx<'_>,
         root: usize,
         data: Option<Vec<Vec<T>>>,
     ) -> Vec<T> {
@@ -425,13 +430,13 @@ impl Coll {
     // ------------------------------------------------------------------
 
     /// MPI_Allgather: everyone receives every rank's value, in rank order.
-    pub fn allgather<T: Wire>(&mut self, ctx: &mut Ctx, contrib: T) -> Vec<T> {
+    pub fn allgather<T: Wire>(&mut self, ctx: &mut Ctx<'_>, contrib: T) -> Vec<T> {
         let gathered = self.gather(ctx, 0, contrib);
         self.bcast(ctx, 0, gathered)
     }
 
     /// MPI_Allgatherv: variable-length allgather.
-    pub fn allgatherv<T: Wire>(&mut self, ctx: &mut Ctx, contrib: Vec<T>) -> Vec<Vec<T>> {
+    pub fn allgatherv<T: Wire>(&mut self, ctx: &mut Ctx<'_>, contrib: Vec<T>) -> Vec<Vec<T>> {
         let gathered = self.gatherv(ctx, 0, contrib);
         self.bcast(ctx, 0, gathered)
     }
@@ -446,7 +451,7 @@ impl Coll {
     /// # Panics
     ///
     /// Panics if `data.len() != nprocs`.
-    pub fn alltoall<T: Wire>(&mut self, ctx: &mut Ctx, data: Vec<T>) -> Vec<T> {
+    pub fn alltoall<T: Wire>(&mut self, ctx: &mut Ctx<'_>, data: Vec<T>) -> Vec<T> {
         let wrapped = data.into_iter().map(|v| vec![v]).collect();
         self.alltoallv(ctx, wrapped)
             .into_iter()
@@ -459,7 +464,7 @@ impl Coll {
     /// # Panics
     ///
     /// Panics if `data.len() != nprocs`.
-    pub fn alltoallv<T: Wire>(&mut self, ctx: &mut Ctx, data: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    pub fn alltoallv<T: Wire>(&mut self, ctx: &mut Ctx<'_>, data: Vec<Vec<T>>) -> Vec<Vec<T>> {
         let tag = self.next_tag();
         let relay_tag = self.next_tag();
         let me = ctx.rank();
@@ -546,7 +551,7 @@ impl Coll {
 
     /// MPI_Scan: inclusive prefix reduction — rank `i` receives
     /// `op(x_0, ..., x_i)`.
-    pub fn scan<T: Wire, F: Fn(&T, &T) -> T>(&mut self, ctx: &mut Ctx, contrib: T, op: F) -> T {
+    pub fn scan<T: Wire, F: Fn(&T, &T) -> T>(&mut self, ctx: &mut Ctx<'_>, contrib: T, op: F) -> T {
         let me = ctx.rank();
         let p = ctx.nprocs();
         match self.algo {
@@ -646,7 +651,7 @@ impl Coll {
     /// Panics if `contrib.len() != nprocs`.
     pub fn reduce_scatter<T: Wire, F: Fn(&T, &T) -> T>(
         &mut self,
-        ctx: &mut Ctx,
+        ctx: &mut Ctx<'_>,
         contrib: Vec<T>,
         op: F,
     ) -> T {
@@ -668,7 +673,7 @@ fn lowest_set_bit(x: usize) -> usize {
 /// The child at relative rank `rel + m` owns relative ranks
 /// `[rel + m, rel + 2m)`.
 fn scatter_down<T: Wire>(
-    ctx: &mut Ctx,
+    ctx: &mut Ctx<'_>,
     root: usize,
     tag: Tag,
     rel: usize,
@@ -682,11 +687,10 @@ fn scatter_down<T: Wire>(
         if rel + m < p {
             let lo = rel + m;
             let hi = (rel + 2 * m).min(p);
-            let (child_bundle, rest): (Vec<_>, Vec<_>) =
-                bundle.into_iter().partition(|(a, _)| {
-                    let r = (*a as usize + p - root) % p;
-                    r >= lo && r < hi
-                });
+            let (child_bundle, rest): (Vec<_>, Vec<_>) = bundle.into_iter().partition(|(a, _)| {
+                let r = (*a as usize + p - root) % p;
+                r >= lo && r < hi
+            });
             bundle = rest;
             let child = (lo + root) % p;
             let bytes: u64 = child_bundle.iter().map(|(_, v)| 4 + v.wire_bytes()).sum();
@@ -917,7 +921,9 @@ mod tests {
         for machine in machines() {
             for algo in both() {
                 let report = machine
-                    .run(move |ctx| Coll::new(8, algo).scan(ctx, ctx.rank() as u64 + 1, |a, b| a + b))
+                    .run(move |ctx| {
+                        Coll::new(8, algo).scan(ctx, ctx.rank() as u64 + 1, |a, b| a + b)
+                    })
                     .unwrap();
                 for (i, v) in report.results.iter().enumerate() {
                     let expected: u64 = (1..=i as u64 + 1).sum();

@@ -156,7 +156,7 @@ where
     /// On a multi-cluster machine, updates bound for a remote cluster are
     /// combined into one wide-area message and fanned out by that cluster's
     /// gateway rank (cluster-aware, like the paper's optimizations).
-    pub fn fence(&mut self, ctx: &mut Ctx) {
+    pub fn fence(&mut self, ctx: &mut Ctx<'_>) {
         let p = ctx.nprocs();
         let me = ctx.rank();
         let data_tag = self.data_tag();

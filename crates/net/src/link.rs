@@ -106,7 +106,10 @@ mod tests {
     fn tx_time_scales_with_bandwidth() {
         let fast = LinkParams::new(SimDuration::ZERO, 10.0);
         let slow = LinkParams::new(SimDuration::ZERO, 1.0);
-        assert_eq!(fast.tx_time(1000).as_nanos() * 10, slow.tx_time(1000).as_nanos());
+        assert_eq!(
+            fast.tx_time(1000).as_nanos() * 10,
+            slow.tx_time(1000).as_nanos()
+        );
         // 1 MB at 1 MB/s takes one second.
         assert_eq!(slow.tx_time(1_000_000), SimDuration::from_secs(1));
     }

@@ -449,8 +449,12 @@ mod tests {
     fn zero_jitter_matches_fixed_latency() {
         let base = TwoLayerSpec::new(Topology::symmetric(2, 2));
         let jittered = base.clone().wan_latency_jitter(0.0);
-        let a = base.build().transfer(ProcId(0), ProcId(2), 100, SimTime::ZERO);
-        let b = jittered.build().transfer(ProcId(0), ProcId(2), 100, SimTime::ZERO);
+        let a = base
+            .build()
+            .transfer(ProcId(0), ProcId(2), 100, SimTime::ZERO);
+        let b = jittered
+            .build()
+            .transfer(ProcId(0), ProcId(2), 100, SimTime::ZERO);
         assert_eq!(a, b);
     }
 
@@ -547,8 +551,8 @@ mod validation_tests {
     /// clusters and check the aggregate throughput approaches that cap.
     #[test]
     fn aggregate_cluster_egress_is_links_times_bandwidth() {
-        let spec = TwoLayerSpec::new(Topology::symmetric(4, 8))
-            .inter(LinkParams::wide_area(0.5, 6.0));
+        let spec =
+            TwoLayerSpec::new(Topology::symmetric(4, 8)).inter(LinkParams::wide_area(0.5, 6.0));
         let mut net = spec.build();
         // 8 senders x 30 messages x 100 KB, round-robin over remote ranks.
         let msg_bytes: u64 = 100_000;
@@ -573,8 +577,8 @@ mod validation_tests {
     /// A single WAN link never exceeds its configured bandwidth.
     #[test]
     fn single_link_respects_bandwidth() {
-        let spec = TwoLayerSpec::new(Topology::symmetric(2, 4))
-            .inter(LinkParams::wide_area(0.5, 2.0));
+        let spec =
+            TwoLayerSpec::new(Topology::symmetric(2, 4)).inter(LinkParams::wide_area(0.5, 2.0));
         let mut net = spec.build();
         let msg_bytes: u64 = 50_000;
         let mut last = SimTime::ZERO;

@@ -105,9 +105,7 @@ mod tests {
 
     #[test]
     fn star_routes_via_hub() {
-        let t = WanTopology::Star {
-            hub: 0,
-        };
+        let t = WanTopology::Star { hub: 0 };
         assert_eq!(t.route(1, 3, 4), vec![1, 0, 3]);
         assert_eq!(t.route(0, 2, 4), vec![0, 2]);
         assert_eq!(t.route(2, 0, 4), vec![2, 0]);

@@ -22,7 +22,7 @@ use crate::ctx::Ctx;
 /// Panics if the caller is not in `group`, or if the root does not supply a
 /// payload.
 pub fn bcast_group_payload(
-    ctx: &mut Ctx,
+    ctx: &mut Ctx<'_>,
     group: &[usize],
     root_pos: usize,
     tag: Tag,
@@ -71,7 +71,7 @@ pub fn bcast_group_payload(
 
 /// Typed binomial broadcast over a rank group. See [`bcast_group_payload`].
 pub fn bcast_group<T: Any + Send + Sync + Clone>(
-    ctx: &mut Ctx,
+    ctx: &mut Ctx<'_>,
     group: &[usize],
     root_pos: usize,
     tag: Tag,
@@ -99,7 +99,7 @@ pub fn bcast_group<T: Any + Send + Sync + Clone>(
 ///
 /// Panics if the caller is not in `group`.
 pub fn reduce_group<T, F>(
-    ctx: &mut Ctx,
+    ctx: &mut Ctx<'_>,
     group: &[usize],
     root_pos: usize,
     tag: Tag,
@@ -143,7 +143,7 @@ where
 /// This is what a runtime written for a uniform interconnect does; on a
 /// two-layer machine the binomial tree crosses wide-area links many times.
 pub fn bcast_flat<T: Any + Send + Sync + Clone>(
-    ctx: &mut Ctx,
+    ctx: &mut Ctx<'_>,
     root: usize,
     tag: Tag,
     data: Option<T>,
@@ -155,7 +155,7 @@ pub fn bcast_flat<T: Any + Send + Sync + Clone>(
 
 /// Flat reduce over all ranks to rank `root`.
 pub fn reduce_flat<T, F>(
-    ctx: &mut Ctx,
+    ctx: &mut Ctx<'_>,
     root: usize,
     tag: Tag,
     contrib: T,
@@ -174,7 +174,7 @@ where
 /// entry rank over the wide area, and each cluster fans out over its fast
 /// local links — every WAN link carries the payload exactly once.
 pub fn bcast_aware<T: Any + Send + Sync + Clone>(
-    ctx: &mut Ctx,
+    ctx: &mut Ctx<'_>,
     root: usize,
     tag: Tag,
     data: Option<T>,
@@ -220,7 +220,7 @@ pub fn bcast_aware<T: Any + Send + Sync + Clone>(
 /// Cluster-aware reduce: each cluster reduces locally to its entry rank, and
 /// the entries' partial results cross the wide area once each.
 pub fn reduce_aware<T, F>(
-    ctx: &mut Ctx,
+    ctx: &mut Ctx<'_>,
     root: usize,
     tag: Tag,
     contrib: T,
@@ -355,7 +355,10 @@ mod tests {
         };
         let flat = run(false);
         let aware = run(true);
-        assert_eq!(aware.net_stats.inter_msgs, 3, "one WAN message per remote cluster");
+        assert_eq!(
+            aware.net_stats.inter_msgs, 3,
+            "one WAN message per remote cluster"
+        );
         assert!(
             flat.net_stats.inter_msgs > aware.net_stats.inter_msgs,
             "flat {} vs aware {}",

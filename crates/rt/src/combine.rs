@@ -72,7 +72,7 @@ impl<T: Any + Send + Sync> Combiner<T> {
     }
 
     /// Adds an item for `dst`, flushing that destination's batch if full.
-    pub fn add(&mut self, ctx: &mut Ctx, dst: usize, item: T) {
+    pub fn add(&mut self, ctx: &mut Ctx<'_>, dst: usize, item: T) {
         let v = self.buf.entry(dst).or_default();
         v.push(item);
         if v.len() >= self.max_items {
@@ -82,7 +82,7 @@ impl<T: Any + Send + Sync> Combiner<T> {
     }
 
     /// Flushes all buffered batches (in ascending destination order).
-    pub fn flush(&mut self, ctx: &mut Ctx) {
+    pub fn flush(&mut self, ctx: &mut Ctx<'_>) {
         let buf = std::mem::take(&mut self.buf);
         for (dst, batch) in buf {
             if !batch.is_empty() {
@@ -91,9 +91,21 @@ impl<T: Any + Send + Sync> Combiner<T> {
         }
     }
 
-    fn send_batch(&self, ctx: &mut Ctx, dst: usize, batch: Vec<T>) {
+    fn send_batch(&self, ctx: &mut Ctx<'_>, dst: usize, batch: Vec<T>) {
         let bytes = batch.len() as u64 * self.item_bytes;
         ctx.send(dst, self.data_tag, batch, bytes);
+    }
+}
+
+impl<T> Drop for Combiner<T> {
+    fn drop(&mut self) {
+        let buffered: usize = self.buf.values().map(Vec::len).sum();
+        if buffered > 0 && !std::thread::panicking() {
+            crate::lint::report(crate::lint::LintRecord::UnflushedCombiner {
+                data_tag: self.data_tag,
+                buffered,
+            });
+        }
     }
 }
 
@@ -157,7 +169,7 @@ impl<T: Any + Send + Sync + Clone> ClusterCombiner<T> {
     }
 
     /// Adds an item for final destination `dst`.
-    pub fn add(&mut self, ctx: &mut Ctx, dst: usize, item: T) {
+    pub fn add(&mut self, ctx: &mut Ctx<'_>, dst: usize, item: T) {
         let my_cluster = ctx.cluster();
         let dst_cluster = ctx.topology().cluster_of_rank(dst);
         if dst_cluster == my_cluster {
@@ -178,7 +190,7 @@ impl<T: Any + Send + Sync + Clone> ClusterCombiner<T> {
     }
 
     /// Flushes all buffered batches.
-    pub fn flush(&mut self, ctx: &mut Ctx) {
+    pub fn flush(&mut self, ctx: &mut Ctx<'_>) {
         let local = std::mem::take(&mut self.local);
         for (dst, batch) in local {
             if !batch.is_empty() {
@@ -193,12 +205,12 @@ impl<T: Any + Send + Sync + Clone> ClusterCombiner<T> {
         }
     }
 
-    fn send_local(&self, ctx: &mut Ctx, dst: usize, batch: Vec<T>) {
+    fn send_local(&self, ctx: &mut Ctx<'_>, dst: usize, batch: Vec<T>) {
         let bytes = batch.len() as u64 * self.item_bytes;
         ctx.send(dst, self.data_tag, batch, bytes);
     }
 
-    fn send_remote(&self, ctx: &mut Ctx, cluster: usize, batch: Vec<Addressed<T>>) {
+    fn send_remote(&self, ctx: &mut Ctx<'_>, cluster: usize, batch: Vec<Addressed<T>>) {
         let relay = ctx.topology().cluster_root(cluster);
         // 4 bytes of addressing per item on the wire.
         let bytes = batch.len() as u64 * (self.item_bytes + 4);
@@ -209,7 +221,7 @@ impl<T: Any + Send + Sync + Clone> ClusterCombiner<T> {
     /// forwards its items as per-destination `Vec<T>` batches under
     /// `data_tag` over the fast local links (including to the relay itself
     /// via loopback).
-    pub fn handle_relay(&self, ctx: &mut Ctx, msg: &Message) {
+    pub fn handle_relay(&self, ctx: &mut Ctx<'_>, msg: &Message) {
         debug_assert_eq!(msg.tag, self.relay_tag, "not a relay message");
         let items = msg.expect_ref::<Vec<Addressed<T>>>();
         let mut per_dst: BTreeMap<usize, Vec<T>> = BTreeMap::new();
@@ -230,6 +242,19 @@ impl<T: Any + Send + Sync + Clone> ClusterCombiner<T> {
     /// The tag final batches are delivered under.
     pub fn data_tag(&self) -> Tag {
         self.data_tag
+    }
+}
+
+impl<T> Drop for ClusterCombiner<T> {
+    fn drop(&mut self) {
+        let buffered: usize = self.local.values().map(Vec::len).sum::<usize>()
+            + self.remote.values().map(Vec::len).sum::<usize>();
+        if buffered > 0 && !std::thread::panicking() {
+            crate::lint::report(crate::lint::LintRecord::UnflushedCombiner {
+                data_tag: self.data_tag,
+                buffered,
+            });
+        }
     }
 }
 

@@ -11,7 +11,7 @@ use crate::tags::rpc_reply_tag;
 /// Runtime view of one simulated processor.
 ///
 /// Wraps the raw simulator context with the machine's [`Topology`] and typed
-/// convenience operations. Application code receives a `&mut Ctx` as its
+/// convenience operations. Application code receives a `&mut Ctx<'_>` as its
 /// entry argument from [`crate::Machine::run`].
 pub struct Ctx<'a> {
     sim: &'a mut ProcCtx,
@@ -32,10 +32,7 @@ impl<'a> Ctx<'a> {
     /// Wraps a raw simulator context. Used by [`crate::Machine`]; application
     /// code never calls this.
     pub fn new(sim: &'a mut ProcCtx, topo: Arc<Topology>) -> Self {
-        Ctx {
-            sim,
-            topo,
-        }
+        Ctx { sim, topo }
     }
 
     /// This process's rank in `0..nprocs`.
@@ -141,13 +138,7 @@ impl<'a> Ctx<'a> {
     /// The server must answer with [`Ctx::reply`]. Each rank has one
     /// outstanding RPC at a time (this call blocks), so reply routing is by
     /// caller rank.
-    pub fn rpc<Req, Resp>(
-        &mut self,
-        dst: usize,
-        service_tag: Tag,
-        req: Req,
-        req_bytes: u64,
-    ) -> Resp
+    pub fn rpc<Req, Resp>(&mut self, dst: usize, service_tag: Tag, req: Req, req_bytes: u64) -> Resp
     where
         Req: Any + Send + Sync,
         Resp: Any + Send + Sync + Clone,
@@ -168,7 +159,7 @@ impl<'a> Ctx<'a> {
 #[cfg(test)]
 mod tests {
     use crate::Machine;
-    use numagap_net::{uniform_spec, TwoLayerSpec, Topology};
+    use numagap_net::{uniform_spec, Topology, TwoLayerSpec};
     use numagap_sim::{Filter, Tag};
 
     #[test]
@@ -177,7 +168,10 @@ mod tests {
         let report = machine
             .run(|ctx| (ctx.rank(), ctx.cluster(), ctx.cluster_root()))
             .unwrap();
-        assert_eq!(report.results, vec![(0, 0, 0), (1, 0, 0), (2, 1, 2), (3, 1, 2)]);
+        assert_eq!(
+            report.results,
+            vec![(0, 0, 0), (1, 0, 0), (2, 1, 2), (3, 1, 2)]
+        );
     }
 
     #[test]

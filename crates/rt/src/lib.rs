@@ -33,6 +33,7 @@
 mod coll;
 mod combine;
 mod ctx;
+pub mod lint;
 mod machine;
 mod sync;
 pub mod tags;
@@ -43,5 +44,6 @@ pub use coll::{
 };
 pub use combine::{Addressed, ClusterCombiner, Combiner};
 pub use ctx::Ctx;
+pub use lint::LintRecord;
 pub use machine::{Machine, RunReport};
 pub use sync::{get_seq, Barrier, SequencerServer};

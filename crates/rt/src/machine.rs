@@ -3,9 +3,12 @@
 use std::sync::Arc;
 
 use numagap_net::{NetStats, TwoLayerNetwork, TwoLayerSpec};
-use numagap_sim::{KernelStats, ProcStats, Sim, SimDuration, SimError, SimTime, TraceLog};
+use numagap_sim::{
+    KernelStats, Observer, ProcStats, Sim, SimDuration, SimError, SimTime, TraceLog,
+};
 
 use crate::ctx::Ctx;
+use crate::lint::{self, LintRecord};
 
 /// A configured two-layer machine on which SPMD programs run.
 ///
@@ -64,7 +67,42 @@ impl Machine {
     /// panic inside a simulated process.
     pub fn run<T, F>(&self, entry: F) -> Result<RunReport<T>, SimError>
     where
-        F: Fn(&mut Ctx) -> T + Send + Sync + 'static,
+        F: Fn(&mut Ctx<'_>) -> T + Send + Sync + 'static,
+        T: Send + 'static,
+    {
+        self.run_inner(entry, None)
+    }
+
+    /// Like [`Machine::run`], with a kernel [`Observer`] installed for the
+    /// duration of the run — this is how the `numagap-analysis` sanitizer
+    /// attaches to a machine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures exactly like [`Machine::run`]. Observer
+    /// state shared via `Arc` (as [`numagap_analysis::Analysis`] does)
+    /// remains readable on the error path.
+    ///
+    /// [`numagap_analysis::Analysis`]: https://docs.rs/numagap-analysis
+    pub fn run_observed<T, F>(
+        &self,
+        entry: F,
+        observer: Box<dyn Observer>,
+    ) -> Result<RunReport<T>, SimError>
+    where
+        F: Fn(&mut Ctx<'_>) -> T + Send + Sync + 'static,
+        T: Send + 'static,
+    {
+        self.run_inner(entry, Some(observer))
+    }
+
+    fn run_inner<T, F>(
+        &self,
+        entry: F,
+        observer: Option<Box<dyn Observer>>,
+    ) -> Result<RunReport<T>, SimError>
+    where
+        F: Fn(&mut Ctx<'_>) -> T + Send + Sync + 'static,
         T: Send + 'static,
     {
         let net = TwoLayerNetwork::new(self.spec.clone());
@@ -75,6 +113,9 @@ impl Machine {
         if self.tracing {
             sim.enable_tracing();
         }
+        if let Some(observer) = observer {
+            sim.set_observer(observer);
+        }
         let topo = Arc::new(self.spec.topology.clone());
         let entry = Arc::new(entry);
         for _rank in 0..self.spec.topology.nprocs() {
@@ -82,19 +123,24 @@ impl Machine {
             let topo = Arc::clone(&topo);
             sim.spawn(move |pctx| {
                 let mut ctx = Ctx::new(pctx, topo);
-                entry(&mut ctx)
+                // Arm the per-thread lint sink so runtime primitives the
+                // entry creates (combiners, barriers) can report on drop.
+                lint::arm();
+                let result = entry(&mut ctx);
+                (result, lint::take())
             });
         }
         let out = sim.run()?;
         let net_stats = out.network.stats();
-        let results = out
-            .results
-            .into_iter()
-            .map(|r| {
-                *r.downcast::<T>()
-                    .expect("machine entry result type mismatch")
-            })
-            .collect();
+        let mut results = Vec::with_capacity(out.results.len());
+        let mut rank_lints = Vec::with_capacity(out.results.len());
+        for r in out.results {
+            let (result, lints) = *r
+                .downcast::<(T, Vec<LintRecord>)>()
+                .expect("machine entry result type mismatch");
+            results.push(result);
+            rank_lints.push(lints);
+        }
         Ok(RunReport {
             elapsed: out.elapsed,
             results,
@@ -102,6 +148,7 @@ impl Machine {
             kernel_stats: out.kernel_stats,
             net_stats,
             trace: out.trace,
+            rank_lints,
             spec: self.spec.clone(),
         })
     }
@@ -123,6 +170,8 @@ pub struct RunReport<T> {
     /// The execution trace, when the machine was built
     /// [`Machine::with_tracing`].
     pub trace: Option<TraceLog>,
+    /// Runtime lint records collected on each rank (see [`crate::lint`]).
+    pub rank_lints: Vec<Vec<LintRecord>>,
     /// The spec the machine ran with.
     pub spec: TwoLayerSpec,
 }
@@ -169,9 +218,7 @@ impl<T> RunReport<T> {
         }
         self.proc_stats
             .iter()
-            .map(|s| {
-                (s.compute + s.send_overhead + s.recv_overhead).as_secs_f64() / total
-            })
+            .map(|s| (s.compute + s.send_overhead + s.recv_overhead).as_secs_f64() / total)
             .collect()
     }
 
@@ -276,16 +323,13 @@ mod tests {
         let json = trace.to_chrome_json();
         assert!(json.contains("\"ph\":\"s\""));
         // Untracked runs carry no trace.
-        let untraced = Machine::new(das_spec(2, 2, 1.0, 1.0))
-            .run(|_| ())
-            .unwrap();
+        let untraced = Machine::new(das_spec(2, 2, 1.0, 1.0)).run(|_| ()).unwrap();
         assert!(untraced.trace.is_none());
     }
 
     #[test]
     fn time_limit_propagates() {
-        let machine =
-            Machine::new(uniform_spec(1)).time_limit(SimDuration::from_millis(1));
+        let machine = Machine::new(uniform_spec(1)).time_limit(SimDuration::from_millis(1));
         let err = machine
             .run(|ctx| loop {
                 ctx.compute(SimDuration::from_secs(1));

@@ -43,10 +43,7 @@ impl Barrier {
     /// Panics if `id >= 512`.
     pub fn new(id: u32) -> Self {
         assert!(id < MAX_BARRIER_IDS, "barrier id {id} out of range");
-        Barrier {
-            id,
-            generation: 0,
-        }
+        Barrier { id, generation: 0 }
     }
 
     /// Completed generations so far.
@@ -62,7 +59,7 @@ impl Barrier {
     }
 
     /// Blocks until every rank has entered this barrier generation.
-    pub fn wait(&mut self, ctx: &mut Ctx) {
+    pub fn wait(&mut self, ctx: &mut Ctx<'_>) {
         let p = ctx.nprocs();
         let me = ctx.rank();
         let mut round = 0u32;
@@ -77,6 +74,17 @@ impl Barrier {
             dist <<= 1;
         }
         self.generation += 1;
+    }
+}
+
+impl Drop for Barrier {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            crate::lint::report(crate::lint::LintRecord::BarrierGeneration {
+                id: self.id,
+                generation: self.generation,
+            });
+        }
     }
 }
 
@@ -99,9 +107,7 @@ impl SequencerServer {
 
     /// Resumes a migrated sequencer at `next`.
     pub fn resume(next: u64) -> Self {
-        SequencerServer {
-            next,
-        }
+        SequencerServer { next }
     }
 
     /// The next sequence number to be issued (for migration).
@@ -118,7 +124,7 @@ impl SequencerServer {
     }
 
     /// Serves one received `get_seq` request message.
-    pub fn serve(&mut self, ctx: &mut Ctx, request: &Message) {
+    pub fn serve(&mut self, ctx: &mut Ctx<'_>, request: &Message) {
         let n = self.issue_local();
         ctx.reply(request, n, 8);
     }
@@ -126,7 +132,7 @@ impl SequencerServer {
 
 /// Client half: blocking RPC to the sequencer owner. `service_tag` must be
 /// the tag the owner is serving on.
-pub fn get_seq(ctx: &mut Ctx, owner: usize, service_tag: Tag) -> u64 {
+pub fn get_seq(ctx: &mut Ctx<'_>, owner: usize, service_tag: Tag) -> u64 {
     ctx.rpc::<(), u64>(owner, service_tag, (), 8)
 }
 

@@ -31,7 +31,10 @@ pub fn rpc_reply_tag(caller_rank: usize) -> Tag {
 
 /// A tag in the collectives block.
 pub fn coll_tag(offset: u32) -> Tag {
-    assert!(offset < BLOCK, "collective tag offset {offset} out of block");
+    assert!(
+        offset < BLOCK,
+        "collective tag offset {offset} out of block"
+    );
     Tag::internal(COLL_BLOCK + offset)
 }
 

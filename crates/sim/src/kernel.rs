@@ -10,12 +10,13 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use serde::{Deserialize, Serialize};
+use std::sync::mpsc::{channel, Receiver, Sender};
 
-use crate::error::{SimError, WaitState};
+use crate::error::{PendingMessage, SimError, WaitState};
 use crate::message::{Filter, Message};
 use crate::network::Network;
+use crate::observe::Observer;
 use crate::process::{AbortToken, Grant, ProcCtx, Request};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::TraceLog;
@@ -158,6 +159,7 @@ pub struct Sim<N: Network> {
     time_limit: Option<SimTime>,
     stack_size: usize,
     tracing: bool,
+    observer: Option<Box<dyn Observer>>,
 }
 
 impl<N: Network + std::fmt::Debug> std::fmt::Debug for Sim<N> {
@@ -179,7 +181,17 @@ impl<N: Network> Sim<N> {
             time_limit: None,
             stack_size: 8 << 20,
             tracing: false,
+            observer: None,
         }
+    }
+
+    /// Installs an [`Observer`] that receives every communication event of
+    /// the run (sends, posted and matched receives, exits). At most one
+    /// observer is active; installing a second replaces the first. Runs
+    /// without an observer pay only a per-event `Option` check.
+    pub fn set_observer(&mut self, observer: Box<dyn Observer>) -> &mut Self {
+        self.observer = Some(observer);
+        self
     }
 
     /// Records an execution trace ([`TraceLog`]) during the run; retrieve it
@@ -242,11 +254,13 @@ struct Kernel<N: Network> {
     queue: BinaryHeap<EventEntry>,
     slots: Vec<ProcSlot>,
     seq: u64,
+    msg_seq: u64,
     now: SimTime,
     live: usize,
     time_limit: Option<SimTime>,
     kstats: KernelStats,
     trace: Option<TraceLog>,
+    observer: Option<Box<dyn Observer>>,
 }
 
 impl<N: Network> Kernel<N> {
@@ -254,8 +268,8 @@ impl<N: Network> Kernel<N> {
         let nprocs = sim.entries.len();
         let mut slots = Vec::with_capacity(nprocs);
         for (rank, entry) in sim.entries.into_iter().enumerate() {
-            let (req_tx, req_rx) = unbounded::<Request>();
-            let (grant_tx, grant_rx) = unbounded::<Grant>();
+            let (req_tx, req_rx) = channel::<Request>();
+            let (grant_tx, grant_rx) = channel::<Grant>();
             let join = std::thread::Builder::new()
                 .name(format!("simproc-{rank}"))
                 .stack_size(sim.stack_size)
@@ -294,11 +308,13 @@ impl<N: Network> Kernel<N> {
             queue: BinaryHeap::new(),
             slots,
             seq: 0,
+            msg_seq: 0,
             now: SimTime::ZERO,
             live: nprocs,
             time_limit: sim.time_limit,
             kstats: KernelStats::default(),
             trace: sim.tracing.then(TraceLog::default),
+            observer: sim.observer,
         };
         for rank in 0..nprocs {
             kernel.schedule(SimTime::ZERO, EventKind::Wake(ProcId(rank)));
@@ -309,11 +325,7 @@ impl<N: Network> Kernel<N> {
     fn schedule(&mut self, time: SimTime, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(EventEntry {
-            time,
-            seq,
-            kind,
-        });
+        self.queue.push(EventEntry { time, seq, kind });
     }
 
     fn run(mut self) -> Result<RunOutcome<N>, SimError> {
@@ -324,9 +336,7 @@ impl<N: Network> Kernel<N> {
             if let Some(limit) = self.time_limit {
                 if entry.time > limit {
                     self.abort_all();
-                    return Err(SimError::TimeLimit {
-                        limit,
-                    });
+                    return Err(SimError::TimeLimit { limit });
                 }
             }
             self.now = entry.time;
@@ -352,34 +362,53 @@ impl<N: Network> Kernel<N> {
         }
         if self.live > 0 {
             let at = self.now;
-            let procs = self
+            // Close the open blocked intervals so the trace accounts the
+            // full wait that led into the deadlock.
+            for rank in 0..self.slots.len() {
+                if matches!(self.slots[rank].state, ProcState::Blocked(_)) {
+                    let block_start = self.slots[rank].block_start;
+                    if let Some(trace) = self.trace.as_mut() {
+                        trace.blocked(ProcId(rank), block_start, at);
+                    }
+                }
+            }
+            let procs: Vec<(usize, WaitState)> = self
                 .slots
                 .iter()
                 .enumerate()
                 .map(|(rank, s)| {
                     let state = match &s.state {
-                        ProcState::Blocked(f) => WaitState::BlockedInRecv(format!(
-                            "src={:?} tag={:?}",
-                            f.src.map(|p| p.0),
-                            f.tag
-                        )),
+                        ProcState::Blocked(f) => WaitState::BlockedInRecv {
+                            filter: f.clone(),
+                            mailbox: s
+                                .mailbox
+                                .iter()
+                                .map(|m| PendingMessage {
+                                    seq: m.seq,
+                                    src: m.src.0,
+                                    tag: m.tag,
+                                    wire_bytes: m.wire_bytes,
+                                })
+                                .collect(),
+                        },
                         ProcState::Done => WaitState::Exited,
-                        ProcState::Idle => WaitState::BlockedInRecv("<idle>".into()),
+                        ProcState::Idle => WaitState::Idle,
                     };
                     (rank, state)
                 })
                 .collect();
+            let cycle = find_wait_cycle(&procs);
             self.abort_all();
-            return Err(SimError::Deadlock {
-                at,
-                procs,
-            });
+            return Err(SimError::Deadlock { at, procs, cycle });
         }
         // All processes exited; drain threads.
         for slot in &mut self.slots {
             if let Some(join) = slot.join.take() {
                 let _ = join.join();
             }
+        }
+        if let Some(obs) = self.observer.as_mut() {
+            obs.on_finish(self.now);
         }
         let elapsed = self
             .slots
@@ -446,7 +475,10 @@ impl<N: Network> Kernel<N> {
                     if let Some(trace) = self.trace.as_mut() {
                         trace.message(p, dst, tag, wire_bytes, sent_at, transfer.arrival);
                     }
+                    let msg_seq = self.msg_seq;
+                    self.msg_seq += 1;
                     let msg = Message {
+                        seq: msg_seq,
                         src: p,
                         tag,
                         wire_bytes,
@@ -454,6 +486,9 @@ impl<N: Network> Kernel<N> {
                         arrived_at: transfer.arrival,
                         payload,
                     };
+                    if let Some(obs) = self.observer.as_mut() {
+                        obs.on_send(dst, &msg);
+                    }
                     self.schedule(transfer.arrival, EventKind::Deliver(dst, msg));
                     let clock = self.slots[p.0].clock;
                     if self.slots[p.0]
@@ -465,6 +500,10 @@ impl<N: Network> Kernel<N> {
                     }
                 }
                 Request::Recv(filter) => {
+                    if let Some(obs) = self.observer.as_mut() {
+                        let now = self.slots[p.0].clock;
+                        obs.on_recv_posted(p, &filter, true, now);
+                    }
                     if let Some(msg) = self.take_from_mailbox(p, &filter) {
                         let o = self.net_recv_overhead(msg.wire_bytes);
                         let slot = &mut self.slots[p.0];
@@ -472,7 +511,14 @@ impl<N: Network> Kernel<N> {
                         slot.stats.recv_overhead += o;
                         slot.stats.msgs_received += 1;
                         let clock = slot.clock;
-                        if self.slots[p.0].grant_tx.send(Grant::Msg(clock, msg)).is_err() {
+                        if let Some(obs) = self.observer.as_mut() {
+                            obs.on_recv_matched(p, &msg, clock);
+                        }
+                        if self.slots[p.0]
+                            .grant_tx
+                            .send(Grant::Msg(clock, msg))
+                            .is_err()
+                        {
                             return Err(self.harvest_panic(p));
                         }
                     } else {
@@ -483,6 +529,10 @@ impl<N: Network> Kernel<N> {
                     }
                 }
                 Request::TryRecv(filter) => {
+                    if let Some(obs) = self.observer.as_mut() {
+                        let now = self.slots[p.0].clock;
+                        obs.on_recv_posted(p, &filter, false, now);
+                    }
                     let found = self.take_from_mailbox(p, &filter);
                     let clock = {
                         let o = found
@@ -497,6 +547,9 @@ impl<N: Network> Kernel<N> {
                         }
                         slot.clock
                     };
+                    if let (Some(obs), Some(msg)) = (self.observer.as_mut(), found.as_ref()) {
+                        obs.on_recv_matched(p, msg, clock);
+                    }
                     if self.slots[p.0]
                         .grant_tx
                         .send(Grant::TryMsg(clock, found))
@@ -510,6 +563,10 @@ impl<N: Network> Kernel<N> {
                     slot.state = ProcState::Done;
                     slot.result = Some(result);
                     slot.stats.exit_at = slot.clock;
+                    let exit_at = slot.stats.exit_at;
+                    if let Some(obs) = self.observer.as_mut() {
+                        obs.on_exit(p, exit_at);
+                    }
                     self.live -= 1;
                     if let Some(join) = slot.join.take() {
                         let _ = join.join();
@@ -554,7 +611,14 @@ impl<N: Network> Kernel<N> {
                 slot.stats.msgs_received += 1;
                 slot.state = ProcState::Idle;
                 let clock = slot.clock;
-                if self.slots[p.0].grant_tx.send(Grant::Msg(clock, msg)).is_err() {
+                if let Some(obs) = self.observer.as_mut() {
+                    obs.on_recv_matched(p, &msg, clock);
+                }
+                if self.slots[p.0]
+                    .grant_tx
+                    .send(Grant::Msg(clock, msg))
+                    .is_err()
+                {
                     return Err(self.harvest_panic(p));
                 }
                 self.service(p)?;
@@ -579,10 +643,7 @@ impl<N: Network> Kernel<N> {
             _ => "<process hung up without panicking>".to_string(),
         };
         self.abort_all();
-        SimError::ProcessPanicked {
-            rank: p.0,
-            message,
-        }
+        SimError::ProcessPanicked { rank: p.0, message }
     }
 
     fn abort_all(&mut self) {
@@ -595,6 +656,57 @@ impl<N: Network> Kernel<N> {
             }
         }
     }
+}
+
+/// Extracts a cycle from the wait-for graph of a halted run.
+///
+/// Each rank blocked on `recv(src=Some(s), ..)` contributes an edge
+/// `rank -> s`. Out-degree is at most one, so following edges from every
+/// blocked rank and watching for a revisit finds a cycle in `O(n)`.
+/// Wildcard receives (`src=None`) contribute no edge — a deadlock made only
+/// of wildcards has no cyclic sender structure to report.
+fn find_wait_cycle(procs: &[(usize, WaitState)]) -> Vec<usize> {
+    let n = procs.len();
+    let mut next = vec![None; n];
+    for (rank, state) in procs {
+        if let WaitState::BlockedInRecv { filter, .. } = state {
+            if let Some(src) = filter.src {
+                if src.0 < n && !matches!(procs[src.0].1, WaitState::Exited) {
+                    next[*rank] = Some(src.0);
+                }
+            }
+        }
+    }
+    // Walk from each unvisited node; a node revisited within the current
+    // walk closes a cycle.
+    let mut color = vec![0u8; n]; // 0 = unvisited, 1 = on current walk, 2 = done
+    for start in 0..n {
+        if color[start] != 0 {
+            continue;
+        }
+        let mut path = Vec::new();
+        let mut cur = start;
+        loop {
+            if color[cur] == 1 {
+                // Found a cycle: the suffix of `path` starting at `cur`.
+                let pos = path.iter().position(|&r| r == cur).unwrap();
+                return path[pos..].to_vec();
+            }
+            if color[cur] == 2 {
+                break;
+            }
+            color[cur] = 1;
+            path.push(cur);
+            match next[cur] {
+                Some(nxt) => cur = nxt,
+                None => break,
+            }
+        }
+        for r in path {
+            color[r] = 2;
+        }
+    }
+    Vec::new()
 }
 
 #[cfg(test)]
@@ -723,6 +835,156 @@ mod tests {
             }
             other => panic!("expected deadlock, got {:?}", other.is_ok()),
         }
+    }
+
+    #[test]
+    fn deadlock_reports_wait_for_cycle_and_mailbox() {
+        // 0 waits on 1, 1 waits on 2, 2 waits on 0: a 3-cycle. Rank 2 also
+        // has an unmatched message parked in its mailbox.
+        let mut sim = Sim::new(IdealNetwork::instantaneous(3));
+        sim.spawn(|ctx| {
+            ctx.send(ProcId(2), Tag::app(5), 1u8, 1);
+            let _ = ctx.recv(Filter::any().from(ProcId(1)));
+        });
+        sim.spawn(|ctx| {
+            let _ = ctx.recv(Filter::any().from(ProcId(2)));
+        });
+        sim.spawn(|ctx| {
+            ctx.compute(SimDuration::from_micros(1));
+            let _ = ctx.recv(Filter::tag(Tag::app(9)).from(ProcId(0)));
+        });
+        match sim.run() {
+            Err(SimError::Deadlock { procs, cycle, .. }) => {
+                let mut c = cycle.clone();
+                c.sort_unstable();
+                assert_eq!(c, vec![0, 1, 2], "cycle must cover all three ranks");
+                let (_, state2) = &procs[2];
+                match state2 {
+                    WaitState::BlockedInRecv { filter, mailbox } => {
+                        assert_eq!(filter.src, Some(ProcId(0)));
+                        assert_eq!(mailbox.len(), 1);
+                        assert_eq!(mailbox[0].src, 0);
+                        assert_eq!(mailbox[0].tag, Tag::app(5));
+                    }
+                    other => panic!("rank 2 should be blocked, got {other:?}"),
+                }
+            }
+            other => panic!("expected deadlock, got ok={:?}", other.is_ok()),
+        }
+    }
+
+    #[test]
+    fn wait_cycle_ignores_wildcards_and_exited() {
+        use crate::error::WaitState as W;
+        let blocked_on = |src: usize| W::BlockedInRecv {
+            filter: Filter::any().from(ProcId(src)),
+            mailbox: Vec::new(),
+        };
+        let wildcard = W::BlockedInRecv {
+            filter: Filter::any(),
+            mailbox: Vec::new(),
+        };
+        // 1 -> 2 -> 1 cycle; 0 is a wildcard, 3 exited.
+        let procs = vec![
+            (0, wildcard.clone()),
+            (1, blocked_on(2)),
+            (2, blocked_on(1)),
+            (3, W::Exited),
+        ];
+        let mut cycle = find_wait_cycle(&procs);
+        cycle.sort_unstable();
+        assert_eq!(cycle, vec![1, 2]);
+        // All wildcards: no cycle to report.
+        let procs = vec![(0, wildcard.clone()), (1, wildcard)];
+        assert!(find_wait_cycle(&procs).is_empty());
+        // An edge into an exited process is not a wait.
+        let procs = vec![(0, blocked_on(1)), (1, W::Exited)];
+        assert!(find_wait_cycle(&procs).is_empty());
+    }
+
+    #[test]
+    fn observer_sees_the_full_event_stream() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Default)]
+        struct Recorder {
+            events: Arc<Mutex<Vec<String>>>,
+        }
+        impl Observer for Recorder {
+            fn on_send(&mut self, dst: ProcId, msg: &Message) {
+                self.events
+                    .lock()
+                    .unwrap()
+                    .push(format!("send#{} {}->{}", msg.seq, msg.src.0, dst.0));
+            }
+            fn on_recv_posted(&mut self, p: ProcId, _f: &Filter, blocking: bool, _now: SimTime) {
+                let kind = if blocking { "recv" } else { "try" };
+                self.events.lock().unwrap().push(format!("{kind}@{}", p.0));
+            }
+            fn on_recv_matched(&mut self, p: ProcId, msg: &Message, _now: SimTime) {
+                self.events
+                    .lock()
+                    .unwrap()
+                    .push(format!("match#{}@{}", msg.seq, p.0));
+            }
+            fn on_exit(&mut self, p: ProcId, _now: SimTime) {
+                self.events.lock().unwrap().push(format!("exit@{}", p.0));
+            }
+            fn on_finish(&mut self, _now: SimTime) {
+                self.events.lock().unwrap().push("finish".into());
+            }
+        }
+
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Sim::new(IdealNetwork::new(2, SimDuration::from_micros(1)));
+        sim.set_observer(Box::new(Recorder {
+            events: Arc::clone(&events),
+        }));
+        sim.spawn(|ctx| {
+            ctx.send(ProcId(1), Tag::app(0), 1u8, 1);
+        });
+        sim.spawn(|ctx| {
+            let _ = ctx.recv(Filter::tag(Tag::app(0)));
+        });
+        sim.run().unwrap();
+
+        let log = events.lock().unwrap().clone();
+        let pos = |e: &str| {
+            log.iter()
+                .position(|x| x == e)
+                .unwrap_or_else(|| panic!("missing event {e} in {log:?}"))
+        };
+        assert!(pos("send#0 0->1") < pos("match#0@1"), "{log:?}");
+        assert!(pos("recv@1") < pos("match#0@1"), "{log:?}");
+        assert!(pos("match#0@1") < pos("exit@1"), "{log:?}");
+        assert_eq!(log.last().map(String::as_str), Some("finish"), "{log:?}");
+    }
+
+    #[test]
+    fn message_seqs_are_unique_and_ordered() {
+        use std::sync::{Arc, Mutex};
+
+        struct Seqs(Arc<Mutex<Vec<u64>>>);
+        impl Observer for Seqs {
+            fn on_send(&mut self, _dst: ProcId, msg: &Message) {
+                self.0.lock().unwrap().push(msg.seq);
+            }
+        }
+        let seqs = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Sim::new(IdealNetwork::instantaneous(2));
+        sim.set_observer(Box::new(Seqs(Arc::clone(&seqs))));
+        sim.spawn(|ctx| {
+            for i in 0..4u64 {
+                ctx.send(ProcId(1), Tag::app(0), i, 8);
+            }
+        });
+        sim.spawn(|ctx| {
+            for _ in 0..4 {
+                let _ = ctx.recv(Filter::any());
+            }
+        });
+        sim.run().unwrap();
+        assert_eq!(*seqs.lock().unwrap(), vec![0, 1, 2, 3]);
     }
 
     #[test]

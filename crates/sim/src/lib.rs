@@ -38,14 +38,16 @@ mod error;
 mod kernel;
 mod message;
 mod network;
+mod observe;
 mod process;
 mod time;
 mod trace;
 
-pub use error::{SimError, WaitState};
+pub use error::{format_filter, PendingMessage, SimError, WaitState};
 pub use kernel::{KernelStats, ProcStats, RunOutcome, Sim};
 pub use message::{Filter, Message, Payload, Tag, TagFilter};
 pub use network::{IdealNetwork, Network, Transfer};
+pub use observe::Observer;
 pub use process::ProcCtx;
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceLog};

@@ -27,16 +27,7 @@ use crate::ProcId;
 /// assert_ne!(t, Tag::app(8));
 /// ```
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    Hash,
-    PartialOrd,
-    Ord,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
 )]
 pub struct Tag(u32);
 
@@ -101,6 +92,9 @@ pub type Payload = Arc<dyn Any + Send + Sync>;
 /// A delivered message.
 #[derive(Clone)]
 pub struct Message {
+    /// Kernel-assigned sequence number, unique per run and increasing in
+    /// send order. Lets observers correlate a send with its eventual match.
+    pub seq: u64,
     /// Sender rank.
     pub src: ProcId,
     /// Matching tag.
@@ -154,6 +148,7 @@ impl Message {
 impl fmt::Debug for Message {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Message")
+            .field("seq", &self.seq)
             .field("src", &self.src)
             .field("tag", &self.tag)
             .field("wire_bytes", &self.wire_bytes)
@@ -249,6 +244,7 @@ mod tests {
 
     fn msg(src: usize, tag: Tag) -> Message {
         Message {
+            seq: 0,
             src: ProcId(src),
             tag,
             wire_bytes: 8,

@@ -60,10 +60,7 @@ pub struct IdealNetwork {
 impl IdealNetwork {
     /// Creates an ideal network over `procs` endpoints with fixed `latency`.
     pub fn new(procs: usize, latency: SimDuration) -> Self {
-        IdealNetwork {
-            procs,
-            latency,
-        }
+        IdealNetwork { procs, latency }
     }
 
     /// Creates a zero-latency network (messages arrive "instantly", but still

@@ -1,0 +1,59 @@
+//! Kernel event observation: the hook the communication sanitizer (and any
+//! other online analysis) attaches to.
+//!
+//! An [`Observer`] receives a callback for every communication-relevant
+//! kernel event, in the kernel's deterministic event order. When no observer
+//! is installed the kernel pays a single `Option` check per event, so runs
+//! without analysis are unaffected.
+//!
+//! Observers run inside the kernel loop and must not block; they should
+//! record and return. State that must survive an aborted run (deadlock, time
+//! limit) belongs behind a shared handle (`Arc<Mutex<..>>`) owned by both the
+//! observer and the caller, since `Sim::run` consumes the observer.
+
+use crate::message::{Filter, Message};
+use crate::time::SimTime;
+use crate::ProcId;
+
+/// A sink for kernel communication events.
+///
+/// All methods have empty default bodies so implementors override only what
+/// they need. Events arrive in deterministic simulation order: a message's
+/// `on_send` always precedes its `on_recv_matched`, and `on_finish` (if the
+/// run completes) follows every other event.
+pub trait Observer: Send {
+    /// A message was handed to the network. `msg.seq` uniquely identifies it
+    /// for later correlation with [`Observer::on_recv_matched`].
+    fn on_send(&mut self, dst: ProcId, msg: &Message) {
+        let _ = (dst, msg);
+    }
+
+    /// Process `p` posted a receive with `filter` at virtual time `now`.
+    /// `blocking` distinguishes `recv` from `try_recv` polls.
+    fn on_recv_posted(&mut self, p: ProcId, filter: &Filter, blocking: bool, now: SimTime) {
+        let _ = (p, filter, blocking, now);
+    }
+
+    /// A posted receive on `p` matched (consumed) `msg` at virtual time
+    /// `now`. Never called for `try_recv` polls that found nothing.
+    fn on_recv_matched(&mut self, p: ProcId, msg: &Message, now: SimTime) {
+        let _ = (p, msg, now);
+    }
+
+    /// Process `p` exited normally at virtual time `now`.
+    fn on_exit(&mut self, p: ProcId, now: SimTime) {
+        let _ = (p, now);
+    }
+
+    /// The run completed successfully (every process exited) at `now`.
+    /// Not called when the run aborts with an error.
+    fn on_finish(&mut self, now: SimTime) {
+        let _ = now;
+    }
+}
+
+impl std::fmt::Debug for dyn Observer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("<observer>")
+    }
+}

@@ -8,7 +8,7 @@
 use std::any::Any;
 use std::sync::Arc;
 
-use crossbeam::channel::{Receiver, Sender};
+use std::sync::mpsc::{Receiver, Sender};
 
 use crate::message::{Filter, Message, Payload, Tag};
 use crate::time::{SimDuration, SimTime};

@@ -21,7 +21,9 @@ use serde::{Deserialize, Serialize};
 /// let t = SimTime::ZERO + SimDuration::from_millis(3);
 /// assert_eq!(t.as_nanos(), 3_000_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of virtual time, in nanoseconds.
@@ -34,7 +36,9 @@ pub struct SimTime(u64);
 /// let d = SimDuration::from_micros(20) * 3;
 /// assert_eq!(d.as_secs_f64(), 60e-6);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {

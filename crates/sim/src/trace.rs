@@ -53,9 +53,34 @@ pub enum TraceEvent {
 pub struct TraceLog {
     /// Events in recording order.
     pub events: Vec<TraceEvent>,
+    /// Display name for the traced machine/run (shown as the process name in
+    /// Chrome trace viewers). Empty means the default name.
+    pub name: String,
+}
+
+/// Escapes a string for embedding inside a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 impl TraceLog {
+    /// Sets the display name used by [`TraceLog::to_chrome_json`]. Any
+    /// string is safe; it is escaped on render.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
     /// Number of recorded events.
     pub fn len(&self) -> usize {
         self.events.len()
@@ -154,10 +179,16 @@ impl TraceLog {
             }
         }
         // Metadata: name the process.
-        out.push_str(
-            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\
-             \"args\":{\"name\":\"numagap machine\"}}\n]\n",
-        );
+        let name = if self.name.is_empty() {
+            "numagap machine"
+        } else {
+            &self.name
+        };
+        out.push_str(&format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}\n]\n",
+            json_escape(name)
+        ));
         out
     }
 
@@ -222,10 +253,24 @@ mod tests {
     }
 
     #[test]
+    fn names_with_quotes_and_non_ascii_are_escaped() {
+        let mut log = TraceLog::default();
+        log.set_name("wyścig \"wild\" recv\n№1");
+        let json = log.to_chrome_json();
+        assert!(json.contains("wyścig \\\"wild\\\" recv\\n№1"), "{json}");
+        // The raw quote must never appear unescaped inside the name value.
+        assert!(!json.contains("\"wild\""), "{json}");
+    }
+
+    #[test]
     fn aggregations() {
         let mut log = TraceLog::default();
         log.compute(ProcId(2), SimTime::ZERO, SimTime::from_nanos(100));
-        log.compute(ProcId(2), SimTime::from_nanos(200), SimTime::from_nanos(350));
+        log.compute(
+            ProcId(2),
+            SimTime::from_nanos(200),
+            SimTime::from_nanos(350),
+        );
         log.message(
             ProcId(0),
             ProcId(2),

@@ -21,7 +21,10 @@ fn main() {
     // Serial build.
     let db = solve(stones);
     println!("Awari endgame database, last-capture-wins variant, ≤{stones} stones\n");
-    println!("{:>7} {:>10} {:>8} {:>8} {:>8}", "stones", "positions", "wins", "losses", "draws");
+    println!(
+        "{:>7} {:>10} {:>8} {:>8} {:>8}",
+        "stones", "positions", "wins", "losses", "draws"
+    );
     for s in 0..=stones {
         let (w, l, d) = db.level_counts(s);
         println!("{s:>7} {:>10} {w:>8} {l:>8} {d:>8}", level_size(s));
@@ -35,7 +38,10 @@ fn main() {
         .expect("simulation failed");
     let parallel = total_checksum(&report.results);
     let serial = serial_awari_real(&cfg);
-    println!("\nparallel build on 4x4 @ 10ms WAN: {} (virtual)", report.elapsed);
+    println!(
+        "\nparallel build on 4x4 @ 10ms WAN: {} (virtual)",
+        report.elapsed
+    );
     println!(
         "traffic: {} wide-area messages, {} bytes",
         report.net_stats.inter_msgs, report.net_stats.inter_payload_bytes

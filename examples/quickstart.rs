@@ -14,7 +14,11 @@ fn main() {
     // clusters, and 10 ms / 1 MByte/s wide-area links between them.
     let spec = das_spec(4, 8, 10.0, 1.0);
     let (lat_gap, bw_gap) = numa_gap(&spec);
-    println!("machine: {} processors in {} clusters", spec.topology.nprocs(), spec.topology.nclusters());
+    println!(
+        "machine: {} processors in {} clusters",
+        spec.topology.nprocs(),
+        spec.topology.nclusters()
+    );
     println!("NUMA gap: {lat_gap:.0}x latency, {bw_gap:.0}x bandwidth\n");
 
     let machine = Machine::new(spec);

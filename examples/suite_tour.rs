@@ -25,8 +25,8 @@ fn main() {
         for variant in [Variant::Unoptimized, Variant::Optimized] {
             let run = run_app(app, &cfg, variant, &machine).expect("run failed");
             let tol = checksum_tolerance(app).max(1e-15);
-            let err = (run.checksum - expected).abs()
-                / expected.abs().max(run.checksum.abs()).max(1e-30);
+            let err =
+                (run.checksum - expected).abs() / expected.abs().max(run.checksum.abs()).max(1e-30);
             let ok = err <= tol;
             println!(
                 "{:<12} {:<12} {:>10} {:>12} {:>10}",

@@ -21,7 +21,11 @@ fn main() {
     let trace = report.trace.expect("tracing was enabled");
 
     println!("run finished in {} (virtual)", report.elapsed);
-    println!("trace: {} events, {} messages", trace.len(), trace.message_count());
+    println!(
+        "trace: {} events, {} messages",
+        trace.len(),
+        trace.message_count()
+    );
     for rank in 0..report.results.len() {
         let busy = trace.compute_time_of(rank);
         let util = 100.0 * busy.as_secs_f64() / report.elapsed.as_secs_f64();

@@ -1,0 +1,156 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the [`Criterion::bench_function`] / [`Bencher::iter`] /
+//! [`criterion_group!`] / [`criterion_main!`] subset used by this workspace's
+//! microbenchmarks. Measurement is a simple wall-clock mean over a fixed
+//! batch of iterations — adequate for coarse "is the kernel fast enough"
+//! numbers, with none of real criterion's statistics, warmup scheduling, or
+//! HTML reports.
+
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Re-export so benches can use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark driver; collects one timing per registered function.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs `f` with a [`Bencher`] and prints a mean per-iteration time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let total_iters: u64 = b.samples.iter().map(|s| s.iters).sum();
+        let total_nanos: u128 = b.samples.iter().map(|s| s.nanos).sum();
+        let mean = if total_iters == 0 {
+            0.0
+        } else {
+            total_nanos as f64 / total_iters as f64
+        };
+        println!(
+            "bench {id:<40} {:>12.1} ns/iter ({total_iters} iters)",
+            mean
+        );
+        self
+    }
+
+    /// Compatibility no-op matching real criterion's finalizer.
+    pub fn final_summary(&mut self) {}
+}
+
+struct Sample {
+    iters: u64,
+    nanos: u128,
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Sample>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, running a small calibrated batch per sample.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Calibrate a batch size aiming for ~5ms per sample so cheap
+        // routines are not dominated by timer overhead.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().as_nanos().max(1);
+        let batch = (5_000_000 / once).clamp(1, 1_000_000) as u64;
+
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(Sample {
+                iters: batch,
+                nanos: t.elapsed().as_nanos(),
+            });
+        }
+    }
+}
+
+/// Declares a benchmark group; supports both the simple list form and the
+/// `name = ..; config = ..; targets = ..` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        );
+    };
+}
+
+/// Emits `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("trivial_add", |b| {
+            let mut acc = 0u64;
+            b.iter(|| {
+                acc = acc.wrapping_add(1);
+                acc
+            });
+        });
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = trivial
+    }
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This build environment has no network access to crates.io, so the
+//! workspace vendors the tiny subset of serde it actually relies on: the
+//! `Serialize` / `Deserialize` *derive positions*. Nothing in this repository
+//! serializes at runtime (reports are rendered by hand as text/CSV/JSON), so
+//! the traits are empty markers and the derives are no-ops.
+//!
+//! If real serialization is ever needed, replace this shim by restoring the
+//! crates.io dependency in the workspace `Cargo.toml`; the annotated types
+//! are already written against the real serde API.
+
+/// Marker counterpart of `serde::Serialize`; carries no behaviour.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`; carries no behaviour.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
+//! offline [`serde`] shim. The derives validate nothing and emit nothing;
+//! they exist so that types annotated for serialization still compile in a
+//! build environment with no access to crates.io.
+
+use proc_macro::TokenStream;
+
+/// Emits no code; accepts the same positions as `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Emits no code; accepts the same positions as `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

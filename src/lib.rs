@@ -9,9 +9,12 @@
 //! * [`collectives`] — flat vs cluster-aware (MagPIe-like) MPI collectives
 //! * [`dsm`] — a miniature release-consistent distributed shared memory
 //! * [`apps`] — the six paper applications, unoptimized and optimized
+//! * [`analysis`] — the communication sanitizer (races, lost messages,
+//!   deadlock wait-for diagnosis, protocol lints)
 
 #![warn(missing_docs)]
 
+pub use numagap_analysis as analysis;
 pub use numagap_apps as apps;
 pub use numagap_collectives as collectives;
 pub use numagap_dsm as dsm;

@@ -13,12 +13,22 @@ fn medium_scale_single_cluster_speedups_hold() {
     // ASP is omitted here: its serial Floyd-Warshall is ~134M updates and
     // too slow for a debug-profile test run (the bench covers it).
     for (app, bar) in [(AppId::Water, 25.0), (AppId::Fft, 20.0)] {
-        let t1 = run_app(app, &cfg, Variant::Unoptimized, &Machine::new(uniform_spec(1)))
-            .unwrap()
-            .elapsed;
-        let t32 = run_app(app, &cfg, Variant::Unoptimized, &Machine::new(uniform_spec(32)))
-            .unwrap()
-            .elapsed;
+        let t1 = run_app(
+            app,
+            &cfg,
+            Variant::Unoptimized,
+            &Machine::new(uniform_spec(1)),
+        )
+        .unwrap()
+        .elapsed;
+        let t32 = run_app(
+            app,
+            &cfg,
+            Variant::Unoptimized,
+            &Machine::new(uniform_spec(32)),
+        )
+        .unwrap()
+        .elapsed;
         let speedup = t1.as_secs_f64() / t32.as_secs_f64();
         assert!(
             speedup > bar,

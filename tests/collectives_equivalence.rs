@@ -82,7 +82,7 @@ proptest! {
                 let mut coll = Coll::new(0, algo);
                 let gathered = coll.gather(ctx, root, ctx.rank() as u64 * 3);
                 // root redistributes what it gathered
-                
+
                 coll.scatterv(
                     ctx,
                     root,

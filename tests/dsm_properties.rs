@@ -94,9 +94,7 @@ fn wan_routes_are_well_formed() {
     for n in 2..8usize {
         for topology in [
             WanTopology::FullMesh,
-            WanTopology::Star {
-                hub: n / 2,
-            },
+            WanTopology::Star { hub: n / 2 },
             WanTopology::Ring,
         ] {
             for a in 0..n {

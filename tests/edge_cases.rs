@@ -120,9 +120,7 @@ fn fft_with_exactly_one_row_per_processor() {
 
 #[test]
 fn two_rank_machines_work_for_every_app() {
-    use twolayer::apps::{
-        checksum_tolerance, run_app, serial_checksum, AppId, Scale, SuiteConfig,
-    };
+    use twolayer::apps::{checksum_tolerance, run_app, serial_checksum, AppId, Scale, SuiteConfig};
     let cfg = SuiteConfig::at(Scale::Small);
     let machine = Machine::new(das_spec(2, 1, 5.0, 1.0));
     for app in AppId::ALL {

@@ -48,7 +48,13 @@ fn optimizations_win_at_wide_area_parameters() {
 fn optimizations_cut_wide_area_messages() {
     let cfg = cfg();
     let machine = Machine::new(das_spec(4, 2, 10.0, 1.0));
-    for app in [AppId::Water, AppId::Barnes, AppId::Tsp, AppId::Asp, AppId::Awari] {
+    for app in [
+        AppId::Water,
+        AppId::Barnes,
+        AppId::Tsp,
+        AppId::Asp,
+        AppId::Awari,
+    ] {
         let unopt = run_app(app, &cfg, Variant::Unoptimized, &machine).unwrap();
         let opt = run_app(app, &cfg, Variant::Optimized, &machine).unwrap();
         assert!(
@@ -147,8 +153,18 @@ fn single_cluster_speedups_are_healthy() {
     // (except Awari, which the paper also reports as poor).
     let cfg = cfg();
     for app in [AppId::Water, AppId::Tsp, AppId::Asp] {
-        let t1 = elapsed(app, &cfg, Variant::Unoptimized, &Machine::new(uniform_spec(1)));
-        let t8 = elapsed(app, &cfg, Variant::Unoptimized, &Machine::new(uniform_spec(8)));
+        let t1 = elapsed(
+            app,
+            &cfg,
+            Variant::Unoptimized,
+            &Machine::new(uniform_spec(1)),
+        );
+        let t8 = elapsed(
+            app,
+            &cfg,
+            Variant::Unoptimized,
+            &Machine::new(uniform_spec(8)),
+        );
         let speedup = t1.as_secs_f64() / t8.as_secs_f64();
         // Test-scale problems are tiny; the bar is modest (full-scale
         // speedups are measured by the `table1` bench).
