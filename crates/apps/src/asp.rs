@@ -270,12 +270,25 @@ pub fn asp_rank(ctx: &mut Ctx<'_>, cfg: &AspConfig, variant: Variant) -> RankOut
     for k in 0..n {
         let owner = block_owner(n, p, k);
         let host = seq_host(ctx, owner, variant);
-        // Migration: if I hold the counter but this iteration's host is
-        // someone else, hand it over (happens `clusters-1` times, or never
-        // when unoptimized).
+        // Migration: the outgoing host hands the counter over the first
+        // time it sees the host change (happens `clusters-1` times, or
+        // never when unoptimized). Only the host of iteration `k-1` may
+        // forward: a faulty WAN can release the MIGRATE to the next host
+        // ahead of row broadcasts still in flight on other streams, and
+        // that early recipient must simply hold the counter until its own
+        // hosting range begins — bouncing it to the *current* host would
+        // strand it, since that host has already passed its migration
+        // point and will never forward it again.
         if uses_sequencer && host != me {
-            if let Some(server) = seq.server.take() {
-                ctx.send(host, MIGRATE_TAG, server.next_value(), 8);
+            let prev_host = if k == 0 {
+                host
+            } else {
+                seq_host(ctx, block_owner(n, p, k - 1), variant)
+            };
+            if prev_host == me {
+                if let Some(server) = seq.server.take() {
+                    ctx.send(host, MIGRATE_TAG, server.next_value(), 8);
+                }
             }
         }
 

@@ -6,12 +6,18 @@
 //!             [--jitter 0.2] [--trace out.json]
 //! numagap suite [machine flags]          # all six apps, both variants
 //! numagap check [--app X] [machine flags]  # communication sanitizer
+//! numagap soak [--app X ...] [machine flags]  # fault-injection sweeps
 //! numagap info [machine flags]           # print the machine and its gap
 //! numagap help
 //! ```
 //!
 //! The argument parser is hand-rolled (the project carries no CLI
 //! dependency) and unit-tested; `main` is a thin wrapper.
+//!
+//! Exit codes are uniform across commands: `0` clean, [`EXIT_FINDINGS`]
+//! when the command ran and found failures (sanitizer diagnostics,
+//! checksum mismatches, failing soak cells), [`EXIT_ERROR`] for usage or
+//! internal errors (bad flags, simulator aborts, I/O failures).
 
 #![warn(missing_docs)]
 
@@ -21,8 +27,16 @@ use numagap_analysis::{check_rank_lints, Analysis, Diagnostic, DiagnosticKind};
 use numagap_apps::{
     checksum_tolerance, run_app, serial_checksum, AppId, Scale, SuiteConfig, Variant,
 };
-use numagap_net::{das_spec, numa_gap, TwoLayerSpec};
-use numagap_rt::Machine;
+use numagap_net::{das_spec, numa_gap, FaultPlan, TwoLayerSpec};
+use numagap_rt::{Machine, TransportConfig};
+use numagap_sim::{SimDuration, SimTime};
+
+/// Exit code: the command ran to completion but found failures — sanitizer
+/// diagnostics, checksum mismatches, or failing soak cells.
+pub const EXIT_FINDINGS: i32 = 1;
+/// Exit code: usage or internal error — unparseable flags, a simulator
+/// abort outside a soak cell, or an I/O failure.
+pub const EXIT_ERROR: i32 = 2;
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +47,8 @@ pub enum Command {
     Suite(MachineArgs),
     /// Run the communication sanitizer over applications.
     Check(CheckArgs),
+    /// Sweep applications across fault intensities and seeds.
+    Soak(SoakArgs),
     /// Describe the machine.
     Info(MachineArgs),
     /// Build a real Awari endgame database.
@@ -46,7 +62,7 @@ pub enum Command {
     Help,
 }
 
-/// Machine-shape flags shared by all commands.
+/// Machine-shape and fault-injection flags shared by all commands.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MachineArgs {
     /// Number of clusters.
@@ -59,6 +75,17 @@ pub struct MachineArgs {
     pub bandwidth_mbs: f64,
     /// WAN latency jitter fraction.
     pub jitter: f64,
+    /// Fault-plan seed; `--seed` installs a (possibly zero-probability)
+    /// plan so the run's report echoes the seed it executed under.
+    pub seed: Option<u64>,
+    /// WAN drop probability.
+    pub drop: f64,
+    /// WAN duplicate probability.
+    pub duplicate: f64,
+    /// WAN reorder probability.
+    pub reorder: f64,
+    /// Gateway crash-restart windows: `(cluster, from_ms, until_ms)`.
+    pub outages: Vec<(usize, f64, f64)>,
 }
 
 impl Default for MachineArgs {
@@ -69,20 +96,71 @@ impl Default for MachineArgs {
             latency_ms: 10.0,
             bandwidth_mbs: 1.0,
             jitter: 0.0,
+            seed: None,
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            outages: Vec::new(),
         }
     }
 }
 
+fn ms_to_simtime(ms: f64) -> SimTime {
+    SimTime::from_nanos((ms * 1e6).round() as u64)
+}
+
 impl MachineArgs {
-    /// Builds the interconnect spec.
+    /// The fault plan these flags describe; `None` when no fault flag (and
+    /// no `--seed`) was given.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        let configured = self.seed.is_some()
+            || self.drop > 0.0
+            || self.duplicate > 0.0
+            || self.reorder > 0.0
+            || !self.outages.is_empty();
+        if !configured {
+            return None;
+        }
+        let mut plan = FaultPlan::new(self.seed.unwrap_or(0))
+            .drop_prob(self.drop)
+            .duplicate_prob(self.duplicate)
+            .reorder_prob(self.reorder);
+        for &(cluster, from, until) in &self.outages {
+            plan = plan.gateway_outage(cluster, ms_to_simtime(from), ms_to_simtime(until));
+        }
+        Some(plan)
+    }
+
+    /// Builds the interconnect spec, including any configured fault plan.
     pub fn spec(&self) -> TwoLayerSpec {
-        das_spec(
+        let spec = das_spec(
             self.clusters,
             self.procs,
             self.latency_ms,
             self.bandwidth_mbs,
         )
-        .wan_latency_jitter(self.jitter)
+        .wan_latency_jitter(self.jitter);
+        match self.fault_plan() {
+            Some(plan) => spec.fault_plan(plan),
+            None => spec,
+        }
+    }
+
+    /// Builds the machine. When the fault plan can actually fire, the
+    /// reliable transport is enabled (applications would otherwise hang on
+    /// dropped messages) along with a generous virtual time limit so an
+    /// unrecoverable schedule aborts instead of spinning forever.
+    pub fn machine(&self) -> Machine {
+        let spec = self.spec();
+        let faulty = spec.fault_plan.as_ref().is_some_and(|p| p.any_faults());
+        let machine = Machine::new(spec.clone());
+        if faulty {
+            machine
+                .with_reliable_transport(TransportConfig::for_spec(&spec))
+                .time_limit(SimDuration::from_secs(3600))
+        } else {
+            machine
+        }
     }
 }
 
@@ -114,6 +192,34 @@ pub struct CheckArgs {
     pub scale: Scale,
     /// Machine shape.
     pub machine: MachineArgs,
+}
+
+/// Flags of the `soak` command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakArgs {
+    /// Applications to soak (all six when empty).
+    pub apps: Vec<AppId>,
+    /// Soak only this variant (both when unset).
+    pub variant: Option<Variant>,
+    /// Problem scale.
+    pub scale: Scale,
+    /// Machine shape; its `--seed` is the sweep's base seed and its
+    /// drop/duplicate/reorder flags are superseded by `--intensities`.
+    pub machine: MachineArgs,
+    /// Fault intensities to sweep: each cell runs with `drop = i`,
+    /// `duplicate = i/2`, `reorder = i/2`.
+    pub intensities: Vec<f64>,
+    /// Seeds per (app, intensity) cell, counting up from the base seed.
+    pub seeds: u64,
+    /// Re-run every cell with the same seed and require a bit-identical
+    /// replay (schedule, virtual time, transport traffic).
+    pub repro: bool,
+    /// Virtual-time limit per cell in seconds; a cell that exceeds it is a
+    /// hang and fails the soak.
+    pub timeout_s: u64,
+    /// Skip the mid-run gateway outage that is otherwise planted from each
+    /// app's fault-free timing probe.
+    pub no_outage: bool,
 }
 
 /// A parse failure with a user-facing message.
@@ -170,6 +276,33 @@ fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, ParseError>
         .map_err(|_| ParseError(format!("invalid value '{v}' for {flag}")))
 }
 
+fn parse_prob(flag: &str, v: &str) -> Result<f64, ParseError> {
+    let p: f64 = parse_num(flag, v)?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(ParseError(format!("{flag} must be in [0, 1], got {p}")));
+    }
+    Ok(p)
+}
+
+/// Parses `cluster:from_ms:until_ms` for `--outage`.
+fn parse_outage(v: &str) -> Result<(usize, f64, f64), ParseError> {
+    let parts: Vec<&str> = v.split(':').collect();
+    let [c, from, until] = parts.as_slice() else {
+        return Err(ParseError(format!(
+            "--outage expects cluster:from_ms:until_ms, got '{v}'"
+        )));
+    };
+    let cluster = parse_num("--outage cluster", c)?;
+    let from: f64 = parse_num("--outage from_ms", from)?;
+    let until: f64 = parse_num("--outage until_ms", until)?;
+    if from >= until {
+        return Err(ParseError(format!(
+            "--outage window must be non-empty, got {from}..{until}"
+        )));
+    }
+    Ok((cluster, from, until))
+}
+
 /// Parses a full command line (excluding the binary name).
 pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
     let mut it = args.iter().copied();
@@ -177,16 +310,21 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
         None | Some("help") | Some("--help") | Some("-h") => return Ok(Command::Help),
         Some(c) => c,
     };
-    let mut app = None;
+    let mut apps: Vec<AppId> = Vec::new();
     let mut variant = None;
     let mut scale = None;
     let mut machine = MachineArgs::default();
     let mut verify = false;
     let mut trace = None;
     let mut stones = 4u32;
+    let mut intensities = vec![0.05, 0.15];
+    let mut seeds = 3u64;
+    let mut repro = false;
+    let mut timeout_s = 3600u64;
+    let mut no_outage = false;
     while let Some(flag) = it.next() {
         match flag {
-            "--app" => app = Some(parse_app(take_value(flag, &mut it)?)?),
+            "--app" => apps.push(parse_app(take_value(flag, &mut it)?)?),
             "--variant" => variant = Some(parse_variant(take_value(flag, &mut it)?)?),
             "--scale" => scale = Some(parse_scale(take_value(flag, &mut it)?)?),
             "--clusters" => machine.clusters = parse_num(flag, take_value(flag, &mut it)?)?,
@@ -194,12 +332,53 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             "--latency" => machine.latency_ms = parse_num(flag, take_value(flag, &mut it)?)?,
             "--bandwidth" => machine.bandwidth_mbs = parse_num(flag, take_value(flag, &mut it)?)?,
             "--jitter" => machine.jitter = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--seed" => machine.seed = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+            "--drop" => machine.drop = parse_prob(flag, take_value(flag, &mut it)?)?,
+            "--duplicate" => machine.duplicate = parse_prob(flag, take_value(flag, &mut it)?)?,
+            "--reorder" => machine.reorder = parse_prob(flag, take_value(flag, &mut it)?)?,
+            "--outage" => machine
+                .outages
+                .push(parse_outage(take_value(flag, &mut it)?)?),
             "--verify" => verify = true,
             "--stones" => stones = parse_num(flag, take_value(flag, &mut it)?)?,
             "--trace" => trace = Some(take_value(flag, &mut it)?.to_string()),
+            "--intensities" => {
+                intensities = take_value(flag, &mut it)?
+                    .split(',')
+                    .map(|v| {
+                        let i: f64 = parse_num(flag, v)?;
+                        if !(0.0..=0.5).contains(&i) {
+                            return Err(ParseError(format!(
+                                "intensity must be in [0, 0.5] (drop + duplicate + \
+                                 reorder must stay within 1), got {i}"
+                            )));
+                        }
+                        Ok(i)
+                    })
+                    .collect::<Result<Vec<f64>, ParseError>>()?;
+            }
+            "--seeds" => seeds = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--repro" => repro = true,
+            "--timeout" => timeout_s = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--no-outage" => no_outage = true,
             other => return Err(ParseError(format!("unknown flag '{other}'"))),
         }
     }
+    if machine.drop + machine.duplicate + machine.reorder > 1.0 {
+        return Err(ParseError(format!(
+            "--drop + --duplicate + --reorder must stay within 1, got {}",
+            machine.drop + machine.duplicate + machine.reorder
+        )));
+    }
+    for &(cluster, _, _) in &machine.outages {
+        if cluster >= machine.clusters {
+            return Err(ParseError(format!(
+                "--outage cluster {cluster} out of range (machine has {} clusters)",
+                machine.clusters
+            )));
+        }
+    }
+    let app = apps.last().copied();
     match cmd {
         "run" => {
             let app = app.ok_or_else(|| ParseError("run requires --app".into()))?;
@@ -221,6 +400,17 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             scale: scale.unwrap_or(Scale::Small),
             machine,
         })),
+        "soak" => Ok(Command::Soak(SoakArgs {
+            apps,
+            variant,
+            scale: scale.unwrap_or(Scale::Small),
+            machine,
+            intensities,
+            seeds,
+            repro,
+            timeout_s,
+            no_outage,
+        })),
         "info" => Ok(Command::Info(machine)),
         "awari-db" => Ok(Command::AwariDb { stones, machine }),
         other => Err(ParseError(format!("unknown command '{other}'"))),
@@ -236,6 +426,7 @@ USAGE:
   numagap awari-db [--stones <N>] [MACHINE OPTIONS]
   numagap suite [MACHINE OPTIONS]
   numagap check [--app <name>] [--variant <unopt|opt>] [MACHINE OPTIONS]
+  numagap soak  [--app <name> ...] [SOAK OPTIONS] [MACHINE OPTIONS]
   numagap info  [MACHINE OPTIONS]
   numagap help
 
@@ -252,12 +443,36 @@ MACHINE OPTIONS:
   --bandwidth <MB/s>         WAN bandwidth per link     [default: 1.0]
   --jitter <0..1>            WAN latency variation      [default: 0]
 
+FAULT OPTIONS (any command; enabling faults turns on the reliable
+transport so applications still complete, degraded only in virtual time):
+  --seed <N>                 fault-plan seed, echoed in reports [default: 0]
+  --drop <0..1>              WAN message drop probability        [default: 0]
+  --duplicate <0..1>         WAN message duplication probability [default: 0]
+  --reorder <0..1>           WAN message reorder probability     [default: 0]
+  --outage <c:from:until>    gateway crash window (ms), repeatable
+
+SOAK OPTIONS:
+  --variant <unopt|opt>      soak only this variant      [default: both]
+  --intensities <i,i,..>     fault intensities to sweep  [default: 0.05,0.15]
+  --seeds <N>                seeds per cell              [default: 3]
+  --seed <N>                 base seed                   [default: 1]
+  --repro                    replay each cell; require identical schedule
+  --timeout <secs>           virtual-time hang limit     [default: 3600]
+  --no-outage                skip the planted mid-run gateway outage
+  Each cell runs one app at drop=i, duplicate=i/2, reorder=i/2 plus a
+  gateway outage parked mid-run (placed from a fault-free probe), then
+  verifies the checksum against the serial reference. Failing cells print
+  the reproducing seed and full command line.
+
 CHECK:
   Runs each selected app under the communication sanitizer and reports
   message races, lost messages, deadlock cycles and protocol lints.
-  Exits nonzero if any unwaived diagnostic fires (the waiver table for
-  known-benign patterns is in the source, with reasons). Defaults to all
-  six apps, both variants, small scale.
+  Defaults to all six apps, both variants, small scale.
+
+EXIT CODES:
+  0  clean
+  1  findings: unwaived diagnostics, checksum mismatches, failed soak cells
+  2  usage or internal error
 ";
 
 /// Executes a parsed command; returns the process exit code.
@@ -288,6 +503,17 @@ pub fn execute(cmd: Command) -> i32 {
                 spec.wan_latency_jitter * 100.0
             );
             println!("NUMA gap: {lat_gap:.0}x latency, {bw_gap:.1}x bandwidth");
+            if let Some(plan) = &spec.fault_plan {
+                println!(
+                    "faults:  seed {} drop {:.0}% duplicate {:.0}% reorder {:.0}%, \
+                     {} outage window(s)",
+                    plan.seed,
+                    plan.drop_prob * 100.0,
+                    plan.duplicate_prob * 100.0,
+                    plan.reorder_prob * 100.0,
+                    plan.link_outages.len() + plan.gateway_outages.len()
+                );
+            }
             0
         }
         Command::AwariDb { stones, machine } => {
@@ -309,14 +535,16 @@ pub fn execute(cmd: Command) -> i32 {
             }
             let serial = serial_awari_real(&cfg);
             let cfg2 = cfg.clone();
-            let report =
-                match Machine::new(machine.spec()).run(move |ctx| awari_real_rank(ctx, &cfg2)) {
-                    Ok(r) => r,
-                    Err(e) => {
-                        eprintln!("simulation failed: {e}");
-                        return 1;
-                    }
-                };
+            let report = match machine
+                .machine()
+                .run(move |ctx| awari_real_rank(ctx, &cfg2))
+            {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("simulation failed: {e}");
+                    return EXIT_ERROR;
+                }
+            };
             let parallel: f64 = report.results.iter().map(|r| r.checksum).sum();
             println!("\nparallel build:  {} virtual", report.elapsed);
             println!("wide-area load:  {} messages", report.net_stats.inter_msgs);
@@ -325,12 +553,18 @@ pub fn execute(cmd: Command) -> i32 {
                 0
             } else {
                 println!("verification:    MISMATCH ({parallel} vs {serial})");
-                1
+                EXIT_FINDINGS
             }
         }
         Command::Suite(machine) => {
             let cfg = SuiteConfig::at(Scale::Small);
-            let m = Machine::new(machine.spec());
+            let m = machine.machine();
+            if let Some(plan) = &m.spec().fault_plan {
+                println!(
+                    "fault seed: {} (reproduce with --seed {})",
+                    plan.seed, plan.seed
+                );
+            }
             println!(
                 "{:<12} {:<12} {:>12} {:>12} {:>9}",
                 "Program", "variant", "runtime", "WAN msgs", "verified"
@@ -364,11 +598,21 @@ pub fn execute(cmd: Command) -> i32 {
                     }
                 }
             }
-            i32::from(failures > 0)
+            if failures > 0 {
+                EXIT_FINDINGS
+            } else {
+                0
+            }
         }
         Command::Check(args) => {
             let cfg = SuiteConfig::at(args.scale);
-            let machine = Machine::new(args.machine.spec());
+            let machine = args.machine.machine();
+            if let Some(plan) = &machine.spec().fault_plan {
+                println!(
+                    "fault seed: {} (reproduce with --seed {})",
+                    plan.seed, plan.seed
+                );
+            }
             let apps: Vec<AppId> = match args.app {
                 Some(app) => vec![app],
                 None => AppId::ALL.to_vec(),
@@ -424,15 +668,16 @@ pub fn execute(cmd: Command) -> i32 {
             }
             if unwaived_total > 0 {
                 println!("FAILED: {unwaived_total} unwaived diagnostic(s)");
-                1
+                EXIT_FINDINGS
             } else {
                 println!("all checks passed");
                 0
             }
         }
+        Command::Soak(args) => execute_soak(&args),
         Command::Run(args) => {
             let cfg = SuiteConfig::at(args.scale);
-            let mut machine = Machine::new(args.machine.spec());
+            let mut machine = args.machine.machine();
             if args.trace.is_some() {
                 machine = machine.with_tracing();
             }
@@ -440,11 +685,14 @@ pub fn execute(cmd: Command) -> i32 {
                 Ok(run) => run,
                 Err(e) => {
                     eprintln!("simulation failed: {e}");
-                    return 1;
+                    return EXIT_ERROR;
                 }
             };
             println!("app:        {} ({})", run.app, run.variant);
             println!("machine:    {}", machine.spec().topology.label());
+            if let Some(seed) = run.seed {
+                println!("seed:       {seed} (fault plan; reproduce with --seed {seed})");
+            }
             println!("runtime:    {}", run.elapsed);
             println!(
                 "traffic:    {} intra msgs, {} inter msgs, {} inter bytes",
@@ -452,6 +700,17 @@ pub fn execute(cmd: Command) -> i32 {
             );
             println!("checksum:   {:.6}", run.checksum);
             println!("work units: {}", run.work);
+            if run.faults_injected > 0 {
+                let t = run.transport.unwrap_or_default();
+                println!(
+                    "faults:     {} injected; {} retransmit(s), {} duplicate(s) \
+                     suppressed, goodput {:.1}%",
+                    run.faults_injected,
+                    t.retransmits,
+                    t.duplicates_suppressed,
+                    t.goodput() * 100.0
+                );
+            }
             if !run.net.wan_busy.is_empty() {
                 let max_busy = run
                     .net
@@ -474,7 +733,7 @@ pub fn execute(cmd: Command) -> i32 {
                     println!("verify:     ok (serial reference {expected:.6})");
                 } else {
                     println!("verify:     FAILED (serial reference {expected:.6})");
-                    code = 1;
+                    code = EXIT_FINDINGS;
                 }
             }
             // A trace needs a dedicated traced run through Machine::run —
@@ -485,19 +744,190 @@ pub fn execute(cmd: Command) -> i32 {
                     Ok(json) => {
                         if let Err(e) = std::fs::write(&path, json) {
                             eprintln!("failed to write trace {path}: {e}");
-                            code = 1;
+                            code = EXIT_ERROR;
                         } else {
                             println!("trace:      {path}");
                         }
                     }
                     Err(e) => {
                         eprintln!("trace run failed: {e}");
-                        code = 1;
+                        code = EXIT_ERROR;
                     }
                 }
             }
             code
         }
+    }
+}
+
+/// Executes the `soak` command: apps x fault intensities x seeds, each
+/// cell verified against the serial reference and (with `--repro`)
+/// replayed to prove the seed reproduces the exact fault schedule.
+pub fn execute_soak(args: &SoakArgs) -> i32 {
+    let cfg = SuiteConfig::at(args.scale);
+    let apps: Vec<AppId> = if args.apps.is_empty() {
+        AppId::ALL.to_vec()
+    } else {
+        args.apps.clone()
+    };
+    let base_seed = args.machine.seed.unwrap_or(1);
+    // The sweep owns the fault plan: strip fault flags off the base spec.
+    let probe_args = MachineArgs {
+        seed: None,
+        drop: 0.0,
+        duplicate: 0.0,
+        reorder: 0.0,
+        outages: Vec::new(),
+        ..args.machine.clone()
+    };
+    let base_spec = probe_args.spec();
+    let variants: Vec<Variant> = match args.variant {
+        Some(v) => vec![v],
+        None => vec![Variant::Unoptimized, Variant::Optimized],
+    };
+    let cells =
+        apps.len() as u64 * variants.len() as u64 * args.intensities.len() as u64 * args.seeds;
+    println!(
+        "soak: {} app(s) x {} variant(s) x {:?} x {} seed(s) from {} = {} cell(s) on {}",
+        apps.len(),
+        variants.len(),
+        args.intensities,
+        args.seeds,
+        base_seed,
+        cells,
+        base_spec.topology.label()
+    );
+    println!(
+        "{:<8} {:<12} {:>9} {:>6} {:>14} {:>7} {:>8} {:>8}  verdict",
+        "app", "variant", "intensity", "seed", "runtime", "faults", "retrans", "goodput"
+    );
+    let mut failures: Vec<String> = Vec::new();
+    let mut ran = 0u64;
+    for &app in &apps {
+        let expected = serial_checksum(app, &cfg);
+        let tol = checksum_tolerance(app).max(1e-15);
+        for &variant in &variants {
+            // Fault-free probe: fixes the expected makespan and tells us
+            // where mid-run is, so the planted outage window actually bites.
+            let clean = match run_app(app, &cfg, variant, &Machine::new(base_spec.clone())) {
+                Ok(run) => run,
+                Err(e) => {
+                    println!(
+                        "{:<8} {:<12} fault-free probe failed: {e}",
+                        app.to_string(),
+                        variant.to_string()
+                    );
+                    failures.push(format!("{app}/{variant}: fault-free probe failed: {e}"));
+                    continue;
+                }
+            };
+            for &intensity in &args.intensities {
+                for k in 0..args.seeds {
+                    let seed = base_seed + k;
+                    ran += 1;
+                    let mut plan = FaultPlan::new(seed)
+                        .drop_prob(intensity)
+                        .duplicate_prob(intensity / 2.0)
+                        .reorder_prob(intensity / 2.0);
+                    if !args.no_outage && args.machine.clusters > 1 {
+                        let t = clean.elapsed.as_nanos();
+                        plan = plan.gateway_outage(
+                            1,
+                            SimTime::from_nanos(t * 3 / 10),
+                            SimTime::from_nanos(t / 2),
+                        );
+                    }
+                    let spec = base_spec.clone().fault_plan(plan);
+                    let machine = Machine::new(spec.clone())
+                        .with_reliable_transport(TransportConfig::for_spec(&spec))
+                        .time_limit(SimDuration::from_secs(args.timeout_s));
+                    let repro_cmd = format!(
+                        "numagap soak --app {app} --variant {variant} --scale {:?} \
+                         --clusters {} --procs {} --latency {} --bandwidth {} \
+                         --intensities {intensity} --seeds 1 --seed {seed}{}",
+                        args.scale,
+                        args.machine.clusters,
+                        args.machine.procs,
+                        args.machine.latency_ms,
+                        args.machine.bandwidth_mbs,
+                        if args.no_outage { " --no-outage" } else { "" }
+                    )
+                    .to_ascii_lowercase();
+                    let (app_s, var_s) = (app.to_string(), variant.to_string());
+                    let run = match run_app(app, &cfg, variant, &machine) {
+                        Ok(run) => run,
+                        Err(e) => {
+                            println!(
+                                "{app_s:<8} {var_s:<12} {intensity:>9} {seed:>6} {:>14} \
+                                 {:>7} {:>8} {:>8}  FAILED: {e}",
+                                "-", "-", "-", "-"
+                            );
+                            failures.push(format!(
+                                "{app}/{variant} intensity {intensity} seed {seed}: {e}\n    \
+                                 reproduce: {repro_cmd}"
+                            ));
+                            continue;
+                        }
+                    };
+                    let err = (run.checksum - expected).abs()
+                        / expected.abs().max(run.checksum.abs()).max(1e-30);
+                    let mut problems: Vec<String> = Vec::new();
+                    if err > tol {
+                        problems.push(format!(
+                            "checksum {} drifted from serial {expected}",
+                            run.checksum
+                        ));
+                    }
+                    if args.repro {
+                        match run_app(app, &cfg, variant, &machine) {
+                            Ok(replay) => {
+                                if replay.elapsed != run.elapsed
+                                    || replay.checksum != run.checksum
+                                    || replay.faults_injected != run.faults_injected
+                                    || replay.transport != run.transport
+                                {
+                                    problems.push(format!(
+                                        "seed {seed} did not replay identically \
+                                         ({} vs {}, {} vs {} faults)",
+                                        replay.elapsed,
+                                        run.elapsed,
+                                        replay.faults_injected,
+                                        run.faults_injected
+                                    ));
+                                }
+                            }
+                            Err(e) => problems.push(format!("replay failed: {e}")),
+                        }
+                    }
+                    let stats = run.transport.unwrap_or_default();
+                    let verdict = if problems.is_empty() { "ok" } else { "FAILED" };
+                    println!(
+                        "{app_s:<8} {var_s:<12} {intensity:>9} {seed:>6} {:>14} {:>7} \
+                         {:>8} {:>7.1}%  {verdict}",
+                        run.elapsed.to_string(),
+                        run.faults_injected,
+                        stats.retransmits,
+                        stats.goodput() * 100.0
+                    );
+                    for problem in problems {
+                        failures.push(format!(
+                            "{app}/{variant} intensity {intensity} seed {seed}: {problem}\n    \
+                             reproduce: {repro_cmd}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("soak passed: {ran} cell(s) clean");
+        0
+    } else {
+        println!("\nFAILED {} of {ran} cell(s):", failures.len());
+        for f in &failures {
+            println!("  {f}");
+        }
+        EXIT_FINDINGS
     }
 }
 
@@ -873,5 +1303,221 @@ mod tests {
     #[test]
     fn info_executes() {
         assert_eq!(execute(parse(&["info"]).unwrap()), 0);
+    }
+
+    #[test]
+    fn parses_fault_flags() {
+        match parse(&[
+            "run",
+            "--app",
+            "fft",
+            "--seed",
+            "9",
+            "--drop",
+            "0.1",
+            "--duplicate",
+            "0.05",
+            "--reorder",
+            "0.02",
+            "--outage",
+            "1:10:20",
+            "--clusters",
+            "2",
+        ])
+        .unwrap()
+        {
+            Command::Run(args) => {
+                assert_eq!(args.machine.seed, Some(9));
+                assert!((args.machine.drop - 0.1).abs() < 1e-12);
+                assert!((args.machine.duplicate - 0.05).abs() < 1e-12);
+                assert!((args.machine.reorder - 0.02).abs() < 1e-12);
+                assert_eq!(args.machine.outages, vec![(1, 10.0, 20.0)]);
+                let plan = args.machine.fault_plan().expect("faults configured");
+                assert_eq!(plan.seed, 9);
+                assert_eq!(plan.gateway_outages.len(), 1);
+            }
+            other => panic!("expected run, got {other:?}"),
+        }
+        // No fault flags: no plan, and the transport stays off.
+        match parse(&["run", "--app", "fft"]).unwrap() {
+            Command::Run(args) => assert_eq!(args.machine.fault_plan(), None),
+            other => panic!("expected run, got {other:?}"),
+        }
+        // --seed alone installs a (zero-probability) plan so the seed is
+        // echoed and replayable.
+        match parse(&["run", "--app", "fft", "--seed", "3"]).unwrap() {
+            Command::Run(args) => {
+                let plan = args.machine.fault_plan().expect("seed installs a plan");
+                assert_eq!(plan.seed, 3);
+            }
+            other => panic!("expected run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_fault_flags() {
+        assert!(parse(&["run", "--app", "fft", "--drop", "1.5"]).is_err());
+        assert!(parse(&["run", "--app", "fft", "--drop", "-0.1"]).is_err());
+        assert!(
+            parse(&["run", "--app", "fft", "--drop", "0.6", "--duplicate", "0.6"]).is_err(),
+            "probabilities must sum within 1"
+        );
+        assert!(parse(&["run", "--app", "fft", "--outage", "1:20:10"]).is_err());
+        assert!(parse(&["run", "--app", "fft", "--outage", "nope"]).is_err());
+        assert!(
+            parse(&[
+                "run",
+                "--app",
+                "fft",
+                "--clusters",
+                "2",
+                "--outage",
+                "7:1:2"
+            ])
+            .is_err(),
+            "outage cluster must exist"
+        );
+        assert!(parse(&["soak", "--intensities", "0.7"]).is_err());
+        assert!(parse(&["soak", "--intensities", "0.05,nan"]).is_err());
+    }
+
+    #[test]
+    fn parses_soak_flags() {
+        match parse(&[
+            "soak",
+            "--app",
+            "asp",
+            "--app",
+            "fft",
+            "--variant",
+            "opt",
+            "--intensities",
+            "0.1,0.2",
+            "--seeds",
+            "5",
+            "--seed",
+            "11",
+            "--repro",
+            "--timeout",
+            "60",
+            "--no-outage",
+        ])
+        .unwrap()
+        {
+            Command::Soak(args) => {
+                assert_eq!(args.apps, vec![AppId::Asp, AppId::Fft]);
+                assert_eq!(args.variant, Some(Variant::Optimized));
+                assert_eq!(args.intensities, vec![0.1, 0.2]);
+                assert_eq!(args.seeds, 5);
+                assert_eq!(args.machine.seed, Some(11));
+                assert!(args.repro);
+                assert_eq!(args.timeout_s, 60);
+                assert!(args.no_outage);
+            }
+            other => panic!("expected soak, got {other:?}"),
+        }
+        match parse(&["soak"]).unwrap() {
+            Command::Soak(args) => {
+                assert!(args.apps.is_empty(), "all apps by default");
+                assert_eq!(args.variant, None, "both variants by default");
+                assert_eq!(args.intensities, vec![0.05, 0.15]);
+                assert_eq!(args.seeds, 3);
+                assert!(!args.repro);
+                assert_eq!(args.timeout_s, 3600);
+            }
+            other => panic!("expected soak, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn soak_passes_on_tiny_sweep() {
+        let cmd = parse(&[
+            "soak",
+            "--app",
+            "fft",
+            "--scale",
+            "small",
+            "--clusters",
+            "2",
+            "--procs",
+            "2",
+            "--intensities",
+            "0.1",
+            "--seeds",
+            "1",
+            "--seed",
+            "5",
+            "--repro",
+        ])
+        .unwrap();
+        assert_eq!(execute(cmd), 0);
+    }
+
+    #[test]
+    fn soak_hang_is_a_finding() {
+        // A zero-second virtual time limit makes every cell a "hang": the
+        // sweep must fail with the findings exit code, not an error.
+        let cmd = parse(&[
+            "soak",
+            "--app",
+            "fft",
+            "--scale",
+            "small",
+            "--clusters",
+            "2",
+            "--procs",
+            "2",
+            "--intensities",
+            "0.1",
+            "--seeds",
+            "1",
+            "--timeout",
+            "0",
+        ])
+        .unwrap();
+        assert_eq!(execute(cmd), EXIT_FINDINGS);
+    }
+
+    #[test]
+    fn unwritable_trace_path_is_an_error() {
+        let cmd = parse(&[
+            "run",
+            "--app",
+            "fft",
+            "--scale",
+            "small",
+            "--clusters",
+            "2",
+            "--procs",
+            "2",
+            "--trace",
+            "/nonexistent-dir/trace.json",
+        ])
+        .unwrap();
+        assert_eq!(execute(cmd), EXIT_ERROR);
+    }
+
+    #[test]
+    fn faulty_run_executes_clean() {
+        let cmd = parse(&[
+            "run",
+            "--app",
+            "asp",
+            "--variant",
+            "opt",
+            "--scale",
+            "small",
+            "--clusters",
+            "2",
+            "--procs",
+            "2",
+            "--seed",
+            "42",
+            "--drop",
+            "0.1",
+            "--verify",
+        ])
+        .unwrap();
+        assert_eq!(execute(cmd), 0);
     }
 }

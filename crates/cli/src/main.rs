@@ -8,7 +8,7 @@ fn main() {
         Err(e) => {
             eprintln!("error: {e}\n");
             eprintln!("{}", numagap_cli::USAGE);
-            std::process::exit(2);
+            std::process::exit(numagap_cli::EXIT_ERROR);
         }
     }
 }

@@ -24,12 +24,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod fault;
 mod link;
 mod model;
 mod presets;
 mod topology;
 mod wan;
 
+pub use fault::{FaultPlan, GatewayOutage, LinkOutage};
 pub use link::{LinkParams, LinkState};
 pub use model::{NetStats, TwoLayerNetwork, TwoLayerSpec};
 pub use presets::{

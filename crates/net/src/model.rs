@@ -8,8 +8,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use numagap_sim::{Network, ProcId, SimDuration, SimTime, Transfer};
+use numagap_sim::{FaultDisposition, Network, ProcId, SimDuration, SimTime, Tag, Transfer};
 
+use crate::fault::FaultPlan;
 use crate::link::{LinkParams, LinkState};
 use crate::topology::Topology;
 use crate::wan::WanTopology;
@@ -58,6 +59,11 @@ pub struct TwoLayerSpec {
     /// through intermediate gateways — the paper's "less perfect" future
     /// topologies.
     pub wan_topology: WanTopology,
+    /// Deterministic WAN fault injection, or `None` (the default) for a
+    /// perfectly reliable network. When `None` the kernel never consults the
+    /// fault machinery, so fault-free runs are byte-identical to builds
+    /// without it.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl TwoLayerSpec {
@@ -73,6 +79,7 @@ impl TwoLayerSpec {
             gateway_overhead: SimDuration::from_micros(60),
             wan_latency_jitter: 0.0,
             wan_topology: WanTopology::FullMesh,
+            fault_plan: None,
         }
     }
 
@@ -111,6 +118,12 @@ impl TwoLayerSpec {
     /// Sets the per-message header size.
     pub fn header_bytes(mut self, bytes: u64) -> Self {
         self.header_bytes = bytes;
+        self
+    }
+
+    /// Installs a deterministic WAN fault plan.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -167,11 +180,14 @@ pub struct TwoLayerNetwork {
     wan: Vec<Vec<LinkState>>,
     /// Counter feeding the deterministic latency-jitter hash.
     jitter_seq: u64,
+    /// Per ordered cluster pair: how many fault decisions this link has
+    /// drawn. Feeds the fault plan's split per-link decision streams.
+    fault_seq: Vec<Vec<u64>>,
     stats: NetStats,
 }
 
-/// splitmix64 finalizer — the deterministic jitter hash.
-fn mix64(mut x: u64) -> u64 {
+/// splitmix64 finalizer — the deterministic jitter/fault hash.
+pub(crate) fn mix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e3779b97f4a7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
@@ -198,6 +214,9 @@ impl TwoLayerNetwork {
     pub fn new(spec: TwoLayerSpec) -> Self {
         let n = spec.topology.nprocs();
         let c = spec.topology.nclusters();
+        if let Some(plan) = &spec.fault_plan {
+            plan.validate();
+        }
         TwoLayerNetwork {
             out_nic: vec![LinkState::default(); n],
             in_nic: vec![LinkState::default(); n],
@@ -206,6 +225,7 @@ impl TwoLayerNetwork {
             gw_cpu: vec![LinkState::default(); c],
             wan: vec![vec![LinkState::default(); c]; c],
             jitter_seq: 0,
+            fault_seq: vec![vec![0; c]; c],
             stats: NetStats {
                 inter_msgs_out: vec![0; c],
                 inter_bytes_out: vec![0; c],
@@ -320,6 +340,56 @@ impl Network for TwoLayerNetwork {
 
     fn recv_overhead(&self, _wire_bytes: u64) -> SimDuration {
         self.spec.recv_overhead
+    }
+
+    fn faults_enabled(&self) -> bool {
+        self.spec.fault_plan.is_some()
+    }
+
+    fn fault_disposition(
+        &mut self,
+        src: ProcId,
+        dst: ProcId,
+        tag: Tag,
+        _wire_bytes: u64,
+        now: SimTime,
+        transfer: &Transfer,
+    ) -> FaultDisposition {
+        let Some(plan) = &self.spec.fault_plan else {
+            return FaultDisposition::on_time(transfer);
+        };
+        let cs = self.spec.topology.cluster_of(src);
+        let cd = self.spec.topology.cluster_of(dst);
+        // The intra-cluster Myrinet layer is reliable; only WAN messages
+        // are exposed to faults.
+        if cs == cd {
+            return FaultDisposition::on_time(transfer);
+        }
+        if plan.exempt_tag_min.is_some_and(|min| tag.raw() >= min) {
+            return FaultDisposition::on_time(transfer);
+        }
+        let route = self
+            .spec
+            .wan_topology
+            .route(cs, cd, self.spec.topology.nclusters());
+        if let Some(cause) = plan.outage_cause(&route, now) {
+            return FaultDisposition::dropped(cause);
+        }
+        let n = self.fault_seq[cs][cd];
+        self.fault_seq[cs][cd] += 1;
+        let u = plan.draw(cs, cd, n);
+        let delay = SimDuration::from_nanos(
+            (self.spec.inter.latency.as_nanos() as f64 * plan.reorder_delay_factor).round() as u64,
+        );
+        if u < plan.drop_prob {
+            FaultDisposition::dropped("wan-drop")
+        } else if u < plan.drop_prob + plan.duplicate_prob {
+            FaultDisposition::duplicated(transfer, transfer.arrival + delay, "wan-duplicate")
+        } else if u < plan.drop_prob + plan.duplicate_prob + plan.reorder_prob {
+            FaultDisposition::delayed(transfer.arrival + delay, "wan-reorder")
+        } else {
+            FaultDisposition::on_time(transfer)
+        }
     }
 }
 

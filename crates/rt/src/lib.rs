@@ -35,6 +35,7 @@ mod combine;
 mod ctx;
 pub mod lint;
 mod machine;
+pub mod reliable;
 mod sync;
 pub mod tags;
 
@@ -46,4 +47,5 @@ pub use combine::{Addressed, ClusterCombiner, Combiner};
 pub use ctx::Ctx;
 pub use lint::LintRecord;
 pub use machine::{Machine, RunReport};
+pub use reliable::{Ack, ReliableEnvelope, TransportConfig, TransportStats};
 pub use sync::{get_seq, Barrier, SequencerServer};

@@ -9,6 +9,8 @@ use numagap_sim::{
 
 use crate::ctx::Ctx;
 use crate::lint::{self, LintRecord};
+use crate::reliable::{TransportConfig, TransportStats};
+use crate::tags;
 
 /// A configured two-layer machine on which SPMD programs run.
 ///
@@ -27,6 +29,7 @@ pub struct Machine {
     spec: TwoLayerSpec,
     time_limit: Option<SimDuration>,
     tracing: bool,
+    transport: Option<TransportConfig>,
 }
 
 impl Machine {
@@ -36,7 +39,20 @@ impl Machine {
             spec,
             time_limit: None,
             tracing: false,
+            transport: None,
         }
+    }
+
+    /// Runs every rank over the reliable transport (see `crate::reliable`),
+    /// so applications complete with identical results under any WAN fault
+    /// plan — degraded only in simulated time. The transport's ack tag
+    /// block is automatically exempted from the spec's fault plan.
+    ///
+    /// Transport-mode ranks poll instead of blocking, so a protocol
+    /// deadlock runs until the [`Machine::time_limit`] — set one.
+    pub fn with_reliable_transport(mut self, cfg: TransportConfig) -> Self {
+        self.transport = Some(cfg);
+        self
     }
 
     /// Records an execution trace during runs; retrieve it from
@@ -105,7 +121,16 @@ impl Machine {
         F: Fn(&mut Ctx<'_>) -> T + Send + Sync + 'static,
         T: Send + 'static,
     {
-        let net = TwoLayerNetwork::new(self.spec.clone());
+        let mut spec = self.spec.clone();
+        if self.transport.is_some() {
+            if let Some(plan) = spec.fault_plan.as_mut() {
+                // The ack control plane is modeled as reliable (see the
+                // `crate::reliable` docs); without this every run would face
+                // the Two Generals problem at exit.
+                plan.exempt_tag_min.get_or_insert(tags::ACK_TAG.raw());
+            }
+        }
+        let net = TwoLayerNetwork::new(spec.clone());
         let mut sim = Sim::new(net);
         if let Some(limit) = self.time_limit {
             sim.time_limit(SimTime::ZERO + limit);
@@ -121,25 +146,35 @@ impl Machine {
         for _rank in 0..self.spec.topology.nprocs() {
             let entry = Arc::clone(&entry);
             let topo = Arc::clone(&topo);
+            let transport = self.transport.clone();
             sim.spawn(move |pctx| {
                 let mut ctx = Ctx::new(pctx, topo);
+                if let Some(cfg) = transport {
+                    ctx.enable_reliable_transport(cfg);
+                }
                 // Arm the per-thread lint sink so runtime primitives the
                 // entry creates (combiners, barriers) can report on drop.
                 lint::arm();
                 let result = entry(&mut ctx);
-                (result, lint::take())
+                // Flush before taking lints: the flush itself can report.
+                let transport_stats = ctx.finish_transport();
+                (result, lint::take(), transport_stats)
             });
         }
         let out = sim.run()?;
         let net_stats = out.network.stats();
         let mut results = Vec::with_capacity(out.results.len());
         let mut rank_lints = Vec::with_capacity(out.results.len());
+        let mut transport_stats = Vec::with_capacity(out.results.len());
         for r in out.results {
-            let (result, lints) = *r
-                .downcast::<(T, Vec<LintRecord>)>()
+            let (result, lints, tstats) = *r
+                .downcast::<(T, Vec<LintRecord>, Option<TransportStats>)>()
                 .expect("machine entry result type mismatch");
             results.push(result);
             rank_lints.push(lints);
+            if let Some(tstats) = tstats {
+                transport_stats.push(tstats);
+            }
         }
         Ok(RunReport {
             elapsed: out.elapsed,
@@ -149,7 +184,8 @@ impl Machine {
             net_stats,
             trace: out.trace,
             rank_lints,
-            spec: self.spec.clone(),
+            transport_stats,
+            spec,
         })
     }
 }
@@ -172,11 +208,33 @@ pub struct RunReport<T> {
     pub trace: Option<TraceLog>,
     /// Runtime lint records collected on each rank (see [`crate::lint`]).
     pub rank_lints: Vec<Vec<LintRecord>>,
+    /// Per-rank reliable-transport counters; empty unless the machine was
+    /// built [`Machine::with_reliable_transport`].
+    pub transport_stats: Vec<TransportStats>,
     /// The spec the machine ran with.
     pub spec: TwoLayerSpec,
 }
 
 impl<T> RunReport<T> {
+    /// The seed of the spec's fault plan, if any — echoed so any faulty run
+    /// is reproducible from its report alone.
+    pub fn effective_seed(&self) -> Option<u64> {
+        self.spec.fault_plan.as_ref().map(|p| p.seed)
+    }
+
+    /// Machine-wide reliable-transport counters; `None` unless the machine
+    /// ran with the transport enabled.
+    pub fn transport_totals(&self) -> Option<TransportStats> {
+        if self.transport_stats.is_empty() {
+            return None;
+        }
+        let mut total = TransportStats::default();
+        for s in &self.transport_stats {
+            total.merge(s);
+        }
+        Some(total)
+    }
+
     /// Aggregate inter-cluster payload volume in MByte/s averaged over the
     /// run, per cluster (the y-axis of the paper's Figure 1).
     pub fn inter_mbytes_per_sec_per_cluster(&self) -> f64 {

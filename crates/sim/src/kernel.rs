@@ -15,7 +15,7 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 
 use crate::error::{PendingMessage, SimError, WaitState};
 use crate::message::{Filter, Message};
-use crate::network::Network;
+use crate::network::{FaultEvent, FaultKind, Network};
 use crate::observe::Observer;
 use crate::process::{AbortToken, Grant, ProcCtx, Request};
 use crate::time::{SimDuration, SimTime};
@@ -52,6 +52,12 @@ pub struct KernelStats {
     pub messages: u64,
     /// Total payload bytes transferred.
     pub bytes: u64,
+    /// Messages discarded by fault injection.
+    pub faults_dropped: u64,
+    /// Messages duplicated by fault injection.
+    pub faults_duplicated: u64,
+    /// Messages delayed past their fault-free arrival by fault injection.
+    pub faults_delayed: u64,
 }
 
 /// The result of a completed simulation run.
@@ -489,7 +495,37 @@ impl<N: Network> Kernel<N> {
                     if let Some(obs) = self.observer.as_mut() {
                         obs.on_send(dst, &msg);
                     }
-                    self.schedule(transfer.arrival, EventKind::Deliver(dst, msg));
+                    if self.net.faults_enabled() {
+                        let disposition = self
+                            .net
+                            .fault_disposition(p, dst, tag, wire_bytes, sent_at, &transfer);
+                        if let Some(kind) = disposition.kind {
+                            match kind {
+                                FaultKind::Drop => self.kstats.faults_dropped += 1,
+                                FaultKind::Duplicate => self.kstats.faults_duplicated += 1,
+                                FaultKind::Delay => self.kstats.faults_delayed += 1,
+                            }
+                            if let Some(obs) = self.observer.as_mut() {
+                                obs.on_fault(&FaultEvent {
+                                    kind,
+                                    src: p,
+                                    dst,
+                                    seq: msg_seq,
+                                    tag,
+                                    at: sent_at,
+                                    cause: disposition.cause,
+                                });
+                            }
+                        }
+                        for &arrival in &disposition.arrivals {
+                            debug_assert!(arrival >= sent_at);
+                            let mut copy = msg.clone();
+                            copy.arrived_at = arrival;
+                            self.schedule(arrival, EventKind::Deliver(dst, copy));
+                        }
+                    } else {
+                        self.schedule(transfer.arrival, EventKind::Deliver(dst, msg));
+                    }
                     let clock = self.slots[p.0].clock;
                     if self.slots[p.0]
                         .grant_tx

@@ -46,7 +46,7 @@ mod trace;
 pub use error::{format_filter, PendingMessage, SimError, WaitState};
 pub use kernel::{KernelStats, ProcStats, RunOutcome, Sim};
 pub use message::{Filter, Message, Payload, Tag, TagFilter};
-pub use network::{IdealNetwork, Network, Transfer};
+pub use network::{FaultDisposition, FaultEvent, FaultKind, IdealNetwork, Network, Transfer};
 pub use observe::Observer;
 pub use process::ProcCtx;
 pub use time::{SimDuration, SimTime};

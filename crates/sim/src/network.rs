@@ -5,6 +5,7 @@
 //! provides [`IdealNetwork`], a trivial constant-delay model used in unit
 //! tests and as the "perfectly uniform" baseline.
 
+use crate::message::Tag;
 use crate::time::{SimDuration, SimTime};
 use crate::ProcId;
 
@@ -15,6 +16,102 @@ pub struct Transfer {
     pub sender_free: SimTime,
     /// When the message lands in the receiver's mailbox.
     pub arrival: SimTime,
+}
+
+/// What kind of fault the network injected into a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum FaultKind {
+    /// The message was silently discarded and never delivered.
+    Drop,
+    /// A second copy of the message was delivered (later than the original).
+    Duplicate,
+    /// The message was delivered, but later than its fault-free arrival,
+    /// allowing it to be overtaken by subsequent sends on the same pair.
+    Delay,
+}
+
+impl FaultKind {
+    /// Stable lower-case label used in logs and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::Delay => "delay",
+        }
+    }
+}
+
+/// A fault the network injected, surfaced through [`crate::Observer::on_fault`].
+#[derive(Debug, Clone)]
+pub struct FaultEvent {
+    /// What happened to the message.
+    pub kind: FaultKind,
+    /// Sender rank.
+    pub src: ProcId,
+    /// Destination rank.
+    pub dst: ProcId,
+    /// Kernel sequence number of the affected message (matches the `seq`
+    /// passed to [`crate::Observer::on_send`]).
+    pub seq: u64,
+    /// The message tag.
+    pub tag: Tag,
+    /// Virtual time the message departed.
+    pub at: SimTime,
+    /// Why the fault fired (e.g. `"wan-drop"`, `"link-outage"`).
+    pub cause: &'static str,
+}
+
+/// How the network disposed of one message under fault injection.
+///
+/// Returned by [`Network::fault_disposition`]; the kernel schedules one
+/// delivery per entry in `arrivals` (zero entries = dropped).
+#[derive(Debug, Clone)]
+pub struct FaultDisposition {
+    /// Mailbox arrival times, one delivery each. Empty means dropped.
+    pub arrivals: Vec<SimTime>,
+    /// The injected fault, if any. `None` means the fault-free single
+    /// on-time delivery.
+    pub kind: Option<FaultKind>,
+    /// Short cause label for the fault event (ignored when `kind` is `None`).
+    pub cause: &'static str,
+}
+
+impl FaultDisposition {
+    /// The fault-free disposition: one delivery at the transfer's arrival.
+    pub fn on_time(transfer: &Transfer) -> Self {
+        FaultDisposition {
+            arrivals: vec![transfer.arrival],
+            kind: None,
+            cause: "",
+        }
+    }
+
+    /// The message is discarded.
+    pub fn dropped(cause: &'static str) -> Self {
+        FaultDisposition {
+            arrivals: Vec::new(),
+            kind: Some(FaultKind::Drop),
+            cause,
+        }
+    }
+
+    /// The message arrives on time and a duplicate copy arrives at `dup_at`.
+    pub fn duplicated(transfer: &Transfer, dup_at: SimTime, cause: &'static str) -> Self {
+        FaultDisposition {
+            arrivals: vec![transfer.arrival, dup_at],
+            kind: Some(FaultKind::Duplicate),
+            cause,
+        }
+    }
+
+    /// The single delivery is postponed to `at`.
+    pub fn delayed(at: SimTime, cause: &'static str) -> Self {
+        FaultDisposition {
+            arrivals: vec![at],
+            kind: Some(FaultKind::Delay),
+            cause,
+        }
+    }
 }
 
 /// A pluggable message cost model.
@@ -35,6 +132,30 @@ pub trait Network: Send + 'static {
     fn recv_overhead(&self, wire_bytes: u64) -> SimDuration {
         let _ = wire_bytes;
         SimDuration::ZERO
+    }
+
+    /// Whether this network may inject faults. When `false` (the default)
+    /// the kernel never calls [`Network::fault_disposition`] and the event
+    /// schedule is byte-identical to a build without fault support.
+    fn faults_enabled(&self) -> bool {
+        false
+    }
+
+    /// Decides the fate of one message under fault injection: deliver on
+    /// time, drop, duplicate, or delay. Called by the kernel in deterministic
+    /// event order, once per send, only when [`Network::faults_enabled`]
+    /// returns `true`. `now` is the departure time used for outage windows.
+    fn fault_disposition(
+        &mut self,
+        src: ProcId,
+        dst: ProcId,
+        tag: Tag,
+        wire_bytes: u64,
+        now: SimTime,
+        transfer: &Transfer,
+    ) -> FaultDisposition {
+        let _ = (src, dst, tag, wire_bytes, now);
+        FaultDisposition::on_time(transfer)
     }
 }
 

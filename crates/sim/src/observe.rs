@@ -12,6 +12,7 @@
 //! observer and the caller, since `Sim::run` consumes the observer.
 
 use crate::message::{Filter, Message};
+use crate::network::FaultEvent;
 use crate::time::SimTime;
 use crate::ProcId;
 
@@ -38,6 +39,13 @@ pub trait Observer: Send {
     /// `now`. Never called for `try_recv` polls that found nothing.
     fn on_recv_matched(&mut self, p: ProcId, msg: &Message, now: SimTime) {
         let _ = (p, msg, now);
+    }
+
+    /// The network injected a fault into message `event.seq`. Fires after
+    /// the message's [`Observer::on_send`], only when the network has fault
+    /// injection enabled.
+    fn on_fault(&mut self, event: &FaultEvent) {
+        let _ = event;
     }
 
     /// Process `p` exited normally at virtual time `now`.

@@ -211,3 +211,75 @@ fn permute(v: &mut Vec<u8>, k: usize, f: &mut impl FnMut(&[u8])) {
         v.swap(k, i);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `WanTopology::route`/`hops` over every topology family and cluster
+    /// count: routes connect the endpoints, visit no cluster twice
+    /// (cycle-free), stay in range, and hop counts are symmetric and within
+    /// each family's diameter.
+    #[test]
+    fn wan_routes_are_sound(
+        kind in 0usize..3,
+        nclusters in 2usize..10,
+        hub_raw in 0usize..64,
+        a_raw in 0usize..64,
+        b_raw in 0usize..64,
+    ) {
+        use twolayer::net::WanTopology;
+        let hub = hub_raw % nclusters;
+        let topo = match kind {
+            0 => WanTopology::FullMesh,
+            1 => WanTopology::Star { hub },
+            _ => WanTopology::Ring,
+        };
+        let a = a_raw % nclusters;
+        let b = b_raw % nclusters;
+        if a != b {
+            let route = topo.route(a, b, nclusters);
+            prop_assert_eq!(route[0], a, "route must start at the source");
+            prop_assert_eq!(*route.last().unwrap(), b, "route must end at the destination");
+            prop_assert!(route.iter().all(|&c| c < nclusters), "cluster out of range");
+            let mut seen = route.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            prop_assert_eq!(seen.len(), route.len(), "route revisits a cluster: {:?}", route);
+            prop_assert_eq!(topo.hops(a, b, nclusters), route.len() - 1);
+            prop_assert_eq!(
+                topo.hops(a, b, nclusters),
+                topo.hops(b, a, nclusters),
+                "hop counts must be symmetric"
+            );
+            let diameter = match topo {
+                WanTopology::FullMesh => 1,
+                WanTopology::Star { .. } => 2,
+                WanTopology::Ring => nclusters / 2,
+            };
+            prop_assert!(route.len() > 1, "distinct clusters need at least one hop");
+            prop_assert!(
+                route.len() - 1 <= diameter,
+                "{}-cluster {} route {:?} exceeds diameter {}",
+                nclusters, topo.label(), route, diameter
+            );
+        }
+    }
+
+    /// Fault-plan draws are pure functions of (seed, link, counter): the
+    /// same triple redraws identically, and the per-link streams stay inside
+    /// the unit interval.
+    #[test]
+    fn fault_draws_are_pure_and_bounded(
+        seed in 0u64..1_000_000,
+        a in 0usize..16,
+        b in 0usize..16,
+        n in 0u64..10_000,
+    ) {
+        use twolayer::net::FaultPlan;
+        let plan = FaultPlan::new(seed);
+        let u = plan.draw(a, b, n);
+        prop_assert!((0.0..=1.0).contains(&u));
+        prop_assert_eq!(u, plan.draw(a, b, n), "draw must be deterministic");
+        prop_assert_eq!(u, FaultPlan::new(seed).draw(a, b, n));
+    }
+}
