@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 
 use numagap_net::NetStats;
 use numagap_rt::{Machine, RunReport, TransportStats};
-use numagap_sim::{SimDuration, SimError};
+use numagap_sim::{KernelStats, SimDuration, SimError};
 
 use crate::asp::{asp_rank, matrix_checksum, serial_asp, AspConfig};
 use crate::awari::{awari_rank, serial_awari, AwariConfig};
@@ -174,6 +174,9 @@ pub struct AppRun {
     /// Injected WAN faults (drops + duplicates + delays); zero when the
     /// machine's spec carries no fault plan.
     pub faults_injected: u64,
+    /// Whole-run kernel accounting (events, messages, bytes, faults) —
+    /// deterministic per cell, recorded by the benchmark pipeline.
+    pub kernel: KernelStats,
     /// Machine-wide reliable-transport counters; `None` when the machine ran
     /// without the transport.
     pub transport: Option<TransportStats>,
@@ -194,6 +197,7 @@ fn summarize(app: AppId, variant: Variant, report: RunReport<RankOutput>) -> App
         inter_msgs_per_cluster: report.inter_msgs_per_sec_per_cluster(),
         total_mbs: report.total_mbytes_per_sec(),
         faults_injected: k.faults_dropped + k.faults_duplicated + k.faults_delayed,
+        kernel: report.kernel_stats,
         transport: report.transport_totals(),
         seed: report.effective_seed(),
         net: report.net_stats,
@@ -268,6 +272,15 @@ pub fn checksum_tolerance(app: AppId) -> f64 {
         AppId::Barnes => 2e-2,
     }
 }
+
+// The benchmark engine fans independent (app, variant, latency, bandwidth)
+// cells across OS threads sharing one `SuiteConfig`; keep the shared run
+// inputs and outputs thread-safe by construction.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SuiteConfig>();
+    assert_send_sync::<AppRun>();
+};
 
 #[cfg(test)]
 mod tests {

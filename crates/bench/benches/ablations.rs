@@ -14,7 +14,7 @@ use numagap_apps::awari::{awari_rank, AwariConfig};
 use numagap_apps::barnes::{barnes_rank, BarnesConfig};
 use numagap_apps::water::{water_rank, WaterConfig};
 use numagap_apps::Variant;
-use numagap_bench::{write_csv, CLUSTERS, PROCS_PER_CLUSTER};
+use numagap_bench::{out_dir, write_csv, CLUSTERS, PROCS_PER_CLUSTER};
 use numagap_net::das_spec;
 use numagap_rt::Machine;
 use numagap_sim::SimDuration;
@@ -26,6 +26,14 @@ fn main() {
     asp_sequencer_modes();
     latency_jitter();
     real_awari_build();
+}
+
+/// Writes one CSV artifact; artifact I/O failure is exit code 2.
+fn csv(name: &str, header: &str, rows: &[String]) {
+    if let Err(e) = out_dir().and_then(|dir| write_csv(&dir, name, header, rows)) {
+        eprintln!("ablations: failed to write {name}: {e}");
+        std::process::exit(2);
+    }
 }
 
 fn real_awari_build() {
@@ -57,7 +65,7 @@ fn real_awari_build() {
     println!("  (the within-level fixpoint needs a global round per propagation");
     println!("   step, so real retrograde analysis is brutally latency-bound —");
     println!("   the structural reason the paper's Awari never tolerates a gap)");
-    write_csv(
+    csv(
         "ablation_real_awari.csv",
         "latency_ms,elapsed_s,inter_msgs",
         &rows,
@@ -94,7 +102,7 @@ fn awari_combining_threshold() {
     println!("  (small thresholds drown in per-message cost; past the sweet spot");
     println!("   further combining stops helping — what remains is the stage-end");
     println!("   starvation the paper describes)\n");
-    write_csv(
+    csv(
         "ablation_awari_combine.csv",
         "combine,elapsed_s,inter_msgs",
         &rows,
@@ -131,7 +139,7 @@ fn gateway_overhead_sweep() {
     }
     println!("  (with free gateways, combining buys little; as per-message cost");
     println!("   grows, the second combining level becomes decisive)\n");
-    write_csv(
+    csv(
         "ablation_gateway.csv",
         "gateway_us,unopt_s,opt_s,gain",
         &rows,
@@ -158,7 +166,7 @@ fn barnes_optimization_split() {
     println!("  unoptimized (per-node combining + barrier):   {unopt:.3}s");
     println!("  + cluster combining (barrier kept):           {combine_only:.3}s");
     println!("  + relaxed barrier (the full optimization):    {full_opt:.3}s\n");
-    write_csv(
+    csv(
         "ablation_barnes.csv",
         "config,elapsed_s",
         &[
@@ -197,7 +205,7 @@ fn asp_sequencer_modes() {
     }
     println!("  (migration removes nearly all ordering cost; dropping the");
     println!("   sequencer — exploiting ASP's static schedule — removes the rest)\n");
-    write_csv(
+    csv(
         "ablation_asp_sequencer.csv",
         "latency_ms,fixed_s,migrating_s,none_s",
         &rows,
@@ -224,7 +232,7 @@ fn latency_jitter() {
     println!("  (bulk-synchronous phases wait for the slowest message, so");
     println!("   variation hurts even at an unchanged mean — the paper's");
     println!("   open question about real wide-area links)");
-    write_csv("ablation_jitter.csv", "jitter,elapsed_s", &rows);
+    csv("ablation_jitter.csv", "jitter,elapsed_s", &rows);
 }
 
 // Appended study: the real-Awari database build (cycle-handling propagation

@@ -4,13 +4,21 @@
 //! replacing fast links with slow ones.
 
 use numagap_apps::{AppId, SuiteConfig, Variant};
-use numagap_bench::{must_run, scale_from_env, write_csv};
+use numagap_bench::{must_run, out_dir, scale_from_env, write_csv};
 use numagap_net::{das_spec, WanTopology};
 use numagap_rt::Machine;
 
 fn main() {
     cluster_shapes();
     wan_topologies();
+}
+
+/// Writes one CSV artifact; artifact I/O failure is exit code 2.
+fn csv(name: &str, header: &str, rows: &[String]) {
+    if let Err(e) = out_dir().and_then(|dir| write_csv(&dir, name, header, rows)) {
+        eprintln!("cluster_structure: failed to write {name}: {e}");
+        std::process::exit(2);
+    }
 }
 
 fn cluster_shapes() {
@@ -47,7 +55,7 @@ fn cluster_shapes() {
         }
         println!();
     }
-    write_csv(
+    csv(
         "cluster_structure.csv",
         "app,clusters,procs_per_cluster,elapsed_s,inter_msgs",
         &rows,
@@ -94,5 +102,5 @@ fn wan_topologies() {
     }
     println!("  (the full mesh's bisection-bandwidth advantage disappears on");
     println!("   the star and the ring, as the paper predicts)");
-    write_csv("wan_topology.csv", "app,wan_topology,elapsed_s", &rows);
+    csv("wan_topology.csv", "app,wan_topology,elapsed_s", &rows);
 }

@@ -1,43 +1,18 @@
 //! Figure 1: inter-cluster communication volume (MByte/s per cluster) versus
 //! message rate (messages/s per cluster) for the six *original* applications
 //! on 4 clusters of 8 at the 0.5 ms / 6.0 MByte/s operating point.
+//!
+//! Thin wrapper over the parallel experiment engine; `REPRO_JOBS` sets the
+//! worker count. Writes `fig1.csv` and `BENCH_fig1.json`.
 
-use numagap_apps::{AppId, SuiteConfig, Variant};
-use numagap_bench::{must_run, scale_from_env, wan_machine, write_csv};
-use numagap_net::{FIG1_BANDWIDTH_MBS, FIG1_LATENCY_MS};
+use numagap_bench::targets::{run_fig1, SweepOpts};
 
 fn main() {
-    let scale = scale_from_env();
-    let cfg = SuiteConfig::at(scale);
-    let machine = wan_machine(FIG1_LATENCY_MS, FIG1_BANDWIDTH_MBS);
-    println!(
-        "== Figure 1: inter-cluster traffic, 4 clusters x 8, link {} ms / {} MB/s (scale={scale:?}) ==\n",
-        FIG1_LATENCY_MS, FIG1_BANDWIDTH_MBS
-    );
-    println!(
-        "{:<12} {:>16} {:>16} {:>12}",
-        "Program", "Volume MB/s/clus", "Messages/s/clus", "Runtime (s)"
-    );
-    let mut rows = Vec::new();
-    for app in AppId::ALL {
-        let run = must_run(app, &cfg, Variant::Unoptimized, &machine);
-        println!(
-            "{:<12} {:>16.3} {:>16.0} {:>12.3}",
-            app.to_string(),
-            run.inter_mbs_per_cluster,
-            run.inter_msgs_per_cluster,
-            run.elapsed.as_secs_f64()
-        );
-        rows.push(format!(
-            "{app},{:.4},{:.1},{:.6}",
-            run.inter_mbs_per_cluster,
-            run.inter_msgs_per_cluster,
-            run.elapsed.as_secs_f64()
-        ));
+    let result = SweepOpts::from_env()
+        .map_err(Into::into)
+        .and_then(|opts| run_fig1(&opts));
+    if let Err(e) = result {
+        eprintln!("fig1_traffic: {e}");
+        std::process::exit(2);
     }
-    write_csv(
-        "fig1.csv",
-        "app,inter_mbs_per_cluster,inter_msgs_per_sec_per_cluster,elapsed_s",
-        &rows,
-    );
 }

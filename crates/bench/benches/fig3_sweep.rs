@@ -1,65 +1,18 @@
 //! Figure 3: relative speedup (vs the all-Myrinet cluster) of all six
 //! applications, unoptimized and optimized, across the paper's grid of
 //! inter-cluster bandwidths and latencies — 12 panels.
+//!
+//! Thin wrapper over the parallel experiment engine; `REPRO_JOBS` sets the
+//! worker count. Writes `fig3.csv` and `BENCH_fig3.json`.
 
-use numagap_apps::{AppId, SuiteConfig, Variant};
-use numagap_bench::{
-    baselines, must_run, print_grid, quick_from_env, relative_speedup_pct, scale_from_env,
-    wan_machine, write_csv,
-};
-use numagap_net::{PAPER_BANDWIDTHS_MBS, PAPER_LATENCIES_MS};
+use numagap_bench::targets::{run_fig3, SweepOpts};
 
 fn main() {
-    let scale = scale_from_env();
-    let quick = quick_from_env();
-    let cfg = SuiteConfig::at(scale);
-    let (lats, bws): (Vec<f64>, Vec<f64>) = if quick {
-        (vec![0.5, 10.0, 300.0], vec![6.3, 0.3, 0.03])
-    } else {
-        (PAPER_LATENCIES_MS.to_vec(), PAPER_BANDWIDTHS_MBS.to_vec())
-    };
-    println!("== Figure 3: speedup relative to an all-Myrinet cluster ==");
-    println!(
-        "   scale={scale:?} quick={quick} machine=4x8, grid {}x{}",
-        lats.len(),
-        bws.len()
-    );
-    let base = baselines(&cfg, &AppId::ALL);
-    let mut rows = Vec::new();
-    for (app, tl) in base {
-        println!("\n{app}: all-Myrinet 32p runtime {:.3}s", tl.as_secs_f64());
-        let variants: &[Variant] = if app.has_optimized() {
-            &[Variant::Unoptimized, Variant::Optimized]
-        } else {
-            &[Variant::Unoptimized]
-        };
-        for &variant in variants {
-            let mut cells = Vec::new();
-            for &lat in &lats {
-                let mut row = Vec::new();
-                for &bw in &bws {
-                    let machine = wan_machine(lat, bw);
-                    let run = must_run(app, &cfg, variant, &machine);
-                    let pct = relative_speedup_pct(tl, run.elapsed);
-                    rows.push(format!(
-                        "{app},{variant},{lat},{bw},{pct:.2},{:.6}",
-                        run.elapsed.as_secs_f64()
-                    ));
-                    row.push(pct);
-                }
-                cells.push(row);
-            }
-            print_grid(
-                &format!("{app}, {variant}, 32 processors, 4 clusters"),
-                &lats,
-                &bws,
-                &cells,
-            );
-        }
+    let result = SweepOpts::from_env()
+        .map_err(Into::into)
+        .and_then(|opts| run_fig3(&opts));
+    if let Err(e) = result {
+        eprintln!("fig3_sweep: {e}");
+        std::process::exit(2);
     }
-    write_csv(
-        "fig3.csv",
-        "app,variant,latency_ms,bandwidth_mbs,rel_speedup_pct,elapsed_s",
-        &rows,
-    );
 }

@@ -2,76 +2,18 @@
 //! left panel sweeps bandwidth at a fixed 3.3 ms latency, right panel sweeps
 //! latency at a fixed 0.9 MByte/s bandwidth. Computed, as in the paper, as
 //! `(T_multi - T_single) / T_multi`.
+//!
+//! Thin wrapper over the parallel experiment engine; `REPRO_JOBS` sets the
+//! worker count. Writes `fig4.csv` and `BENCH_fig4.json`.
 
-use numagap_apps::{AppId, SuiteConfig, Variant};
-use numagap_bench::{
-    baselines, comm_time_pct, must_run, quick_from_env, scale_from_env, wan_machine, write_csv,
-};
-use numagap_net::{
-    FIG4_FIXED_BANDWIDTH_MBS, FIG4_FIXED_LATENCY_MS, PAPER_BANDWIDTHS_MBS, PAPER_LATENCIES_MS,
-};
+use numagap_bench::targets::{run_fig4, SweepOpts};
 
 fn main() {
-    let scale = scale_from_env();
-    let quick = quick_from_env();
-    let cfg = SuiteConfig::at(scale);
-    let (lats, bws): (Vec<f64>, Vec<f64>) = if quick {
-        (vec![0.5, 10.0, 300.0], vec![6.3, 0.3, 0.03])
-    } else {
-        (PAPER_LATENCIES_MS.to_vec(), PAPER_BANDWIDTHS_MBS.to_vec())
-    };
-    println!("== Figure 4: inter-cluster communication time (scale={scale:?}) ==");
-    // The paper measures the optimized programs here (the surviving ones).
-    let base = baselines(&cfg, &AppId::ALL);
-    let mut rows = Vec::new();
-
-    println!("\n-- left: sweep bandwidth at {FIG4_FIXED_LATENCY_MS} ms latency --");
-    println!("{:<12} comm% per bandwidth (descending MB/s)", "Program");
-    for (app, tl) in &base {
-        let variant = if app.has_optimized() {
-            Variant::Optimized
-        } else {
-            Variant::Unoptimized
-        };
-        print!("{:<12}", app.to_string());
-        for &bw in &bws {
-            let run = must_run(*app, &cfg, variant, &wan_machine(FIG4_FIXED_LATENCY_MS, bw));
-            let pct = comm_time_pct(*tl, run.elapsed);
-            print!(" {pct:>6.1}%");
-            rows.push(format!(
-                "{app},bandwidth_sweep,{FIG4_FIXED_LATENCY_MS},{bw},{pct:.2}"
-            ));
-        }
-        println!();
+    let result = SweepOpts::from_env()
+        .map_err(Into::into)
+        .and_then(|opts| run_fig4(&opts));
+    if let Err(e) = result {
+        eprintln!("fig4_comm_time: {e}");
+        std::process::exit(2);
     }
-
-    println!("\n-- right: sweep latency at {FIG4_FIXED_BANDWIDTH_MBS} MB/s --");
-    println!("{:<12} comm% per latency (ascending ms)", "Program");
-    for (app, tl) in &base {
-        let variant = if app.has_optimized() {
-            Variant::Optimized
-        } else {
-            Variant::Unoptimized
-        };
-        print!("{:<12}", app.to_string());
-        for &lat in &lats {
-            let run = must_run(
-                *app,
-                &cfg,
-                variant,
-                &wan_machine(lat, FIG4_FIXED_BANDWIDTH_MBS),
-            );
-            let pct = comm_time_pct(*tl, run.elapsed);
-            print!(" {pct:>6.1}%");
-            rows.push(format!(
-                "{app},latency_sweep,{lat},{FIG4_FIXED_BANDWIDTH_MBS},{pct:.2}"
-            ));
-        }
-        println!();
-    }
-    write_csv(
-        "fig4.csv",
-        "app,sweep,latency_ms,bandwidth_mbs,comm_time_pct",
-        &rows,
-    );
 }

@@ -3,10 +3,18 @@
 //! paper's operating point of 10 ms wide-area latency and 1 MByte/s — where
 //! the paper reports speedups of up to 10x.
 
-use numagap_bench::{quick_from_env, wan_machine, write_csv};
+use numagap_bench::{out_dir, quick_from_env, wan_machine, write_csv};
 use numagap_collectives::{Algo, Coll};
 use numagap_rt::{Ctx, Machine};
 use numagap_sim::SimDuration;
+
+/// Writes one CSV artifact; artifact I/O failure is exit code 2.
+fn csv(name: &str, header: &str, rows: &[String]) {
+    if let Err(e) = out_dir().and_then(|dir| write_csv(&dir, name, header, rows)) {
+        eprintln!("magpie_bench: failed to write {name}: {e}");
+        std::process::exit(2);
+    }
+}
 
 /// Runs `iters` repetitions of one collective and returns mean completion
 /// time. Iterations are barrier-separated so they do not overlap, and the
@@ -162,7 +170,7 @@ fn main() {
         ));
     }
     println!("\nbest cluster-aware speedup: {best:.1}x (paper: up to 10x)");
-    write_csv("magpie.csv", "op,flat_s,aware_s,speedup", &rows);
+    csv("magpie.csv", "op,flat_s,aware_s,speedup", &rows);
 
     // The paper: "the system's advantage increases for higher wide area
     // latencies". Show the scan speedup as latency grows.
@@ -190,7 +198,7 @@ fn main() {
             aware.as_secs_f64()
         ));
     }
-    write_csv(
+    csv(
         "magpie_latency.csv",
         "latency_ms,flat_s,aware_s,speedup",
         &rows,
@@ -230,7 +238,7 @@ fn main() {
         ));
     }
     println!("  (paper: kernels improve by up to a factor of 4)");
-    write_csv(
+    csv(
         "magpie_kernel.csv",
         "latency_ms,flat_s,aware_s,speedup",
         &rows,

@@ -1,74 +1,18 @@
 //! Table 1: single-cluster (all-Myrinet) speedups on 8 and 32 processors,
 //! total traffic, and runtime — plus Table 2 (communication patterns and
 //! optimizations) for reference.
+//!
+//! Thin wrapper over the parallel experiment engine; `REPRO_JOBS` sets the
+//! worker count. Writes `table1.csv` and `BENCH_table1.json`.
 
-use numagap_apps::{AppId, SuiteConfig, Variant};
-use numagap_bench::{must_run, scale_from_env, write_csv};
-use numagap_net::uniform_spec;
-use numagap_rt::Machine;
+use numagap_bench::targets::{run_table1, SweepOpts};
 
 fn main() {
-    let scale = scale_from_env();
-    let cfg = SuiteConfig::at(scale);
-    println!("== Table 1: single-cluster performance (scale={scale:?}) ==\n");
-    println!(
-        "{:<12} {:>12} {:>12} {:>16} {:>14}",
-        "Program", "Speedup 32p", "Speedup 8p", "Traffic MB/s@32", "Runtime 32p(s)"
-    );
-    let mut rows = Vec::new();
-    for app in AppId::ALL {
-        let serial = must_run(
-            app,
-            &cfg,
-            Variant::Unoptimized,
-            &Machine::new(uniform_spec(1)),
-        );
-        let p8 = must_run(
-            app,
-            &cfg,
-            Variant::Unoptimized,
-            &Machine::new(uniform_spec(8)),
-        );
-        let p32 = must_run(
-            app,
-            &cfg,
-            Variant::Unoptimized,
-            &Machine::new(uniform_spec(32)),
-        );
-        let s8 = serial.elapsed.as_secs_f64() / p8.elapsed.as_secs_f64();
-        let s32 = serial.elapsed.as_secs_f64() / p32.elapsed.as_secs_f64();
-        println!(
-            "{:<12} {:>12.1} {:>12.1} {:>16.2} {:>14.3}",
-            app.to_string(),
-            s32,
-            s8,
-            p32.total_mbs,
-            p32.elapsed.as_secs_f64()
-        );
-        rows.push(format!(
-            "{app},{s32:.2},{s8:.2},{:.3},{:.6},{:.6}",
-            p32.total_mbs,
-            p32.elapsed.as_secs_f64(),
-            serial.elapsed.as_secs_f64()
-        ));
-    }
-    write_csv(
-        "table1.csv",
-        "app,speedup32,speedup8,traffic_mbs_32,runtime32_s,runtime1_s",
-        &rows,
-    );
-
-    println!("\n== Table 2: communication patterns and optimizations ==\n");
-    println!(
-        "{:<12} {:<28} {:<30}",
-        "Program", "Communication", "Optimization"
-    );
-    for app in AppId::ALL {
-        println!(
-            "{:<12} {:<28} {:<30}",
-            app.to_string(),
-            app.pattern(),
-            app.optimization()
-        );
+    let result = SweepOpts::from_env()
+        .map_err(Into::into)
+        .and_then(|opts| run_table1(&opts));
+    if let Err(e) = result {
+        eprintln!("table1: {e}");
+        std::process::exit(2);
     }
 }

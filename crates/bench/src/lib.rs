@@ -1,6 +1,8 @@
 //! # numagap-bench — the experiment harness
 //!
-//! One bench target per table/figure of the paper (run with `cargo bench`):
+//! One bench target per table/figure of the paper (run with `cargo bench`),
+//! all driven by the parallel experiment [`engine`] and shared with the
+//! `numagap bench` CLI subcommand through [`targets`]:
 //!
 //! | Target | Regenerates |
 //! |---|---|
@@ -12,26 +14,66 @@
 //! | `magpie_bench` | §6 MagPIe collectives vs flat (up to 10x) |
 //! | `micro` | Criterion microbenchmarks of the simulator itself |
 //!
+//! Every engine-backed target writes a versioned `BENCH_<target>.json`
+//! summary ([`record`]) next to its CSV artifact; `numagap bench --compare`
+//! diffs two such summaries for determinism drift and wall-clock
+//! regressions.
+//!
 //! Environment knobs:
 //! * `REPRO_SCALE` = `small` | `medium` (default) | `paper`
 //! * `REPRO_QUICK` = `1` — coarse grids for a fast smoke pass
-//! * `REPRO_OUT` — directory for CSV output (default `bench_results/`)
+//! * `REPRO_JOBS` = worker threads (default: available parallelism)
+//! * `REPRO_OUT` — directory for CSV/JSON output (default `bench_results/`)
 
 #![warn(missing_docs)]
 
+use std::fmt;
 use std::fs;
-use std::io::Write as _;
-use std::path::PathBuf;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
 
 use numagap_apps::{run_app, AppId, AppRun, Scale, SuiteConfig, Variant};
 use numagap_net::das_spec;
 use numagap_rt::Machine;
 use numagap_sim::SimDuration;
 
+pub mod engine;
+pub mod json;
+pub mod record;
+pub mod targets;
+
 /// The machine size used throughout the paper's main experiments.
 pub const CLUSTERS: usize = 4;
 /// Processors per cluster in the main experiments.
 pub const PROCS_PER_CLUSTER: usize = 8;
+
+/// A benchmark-pipeline failure: either artifact I/O or a simulator error
+/// inside a sweep cell. Maps to exit code 2 at the CLI.
+#[derive(Debug)]
+pub enum BenchError {
+    /// Filesystem/stdout failure while writing artifacts.
+    Io(io::Error),
+    /// A simulation cell failed (deadlock, time limit, panic), or the
+    /// request itself was invalid (unknown target).
+    Sim(String),
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Io(e) => write!(f, "i/o error: {e}"),
+            BenchError::Sim(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+impl From<io::Error> for BenchError {
+    fn from(e: io::Error) -> Self {
+        BenchError::Io(e)
+    }
+}
 
 /// Problem scale selected via `REPRO_SCALE` (default: medium).
 pub fn scale_from_env() -> Scale {
@@ -47,23 +89,34 @@ pub fn quick_from_env() -> bool {
     std::env::var("REPRO_QUICK").as_deref() == Ok("1")
 }
 
-/// Output directory for CSV artifacts.
-pub fn out_dir() -> PathBuf {
+/// Output directory for CSV/JSON artifacts (`REPRO_OUT`, default
+/// `bench_results/`), created if missing.
+///
+/// # Errors
+///
+/// Propagates the directory-creation failure.
+pub fn out_dir() -> io::Result<PathBuf> {
     let dir = std::env::var("REPRO_OUT").unwrap_or_else(|_| "bench_results".to_string());
     let path = PathBuf::from(dir);
-    fs::create_dir_all(&path).expect("create output directory");
-    path
+    fs::create_dir_all(&path)?;
+    Ok(path)
 }
 
-/// Writes CSV rows (with header) to `out_dir()/name`.
-pub fn write_csv(name: &str, header: &str, rows: &[String]) {
-    let path = out_dir().join(name);
-    let mut f = fs::File::create(&path).expect("create csv");
-    writeln!(f, "{header}").unwrap();
+/// Writes CSV rows (with header) to `dir/name`.
+///
+/// # Errors
+///
+/// Propagates file-creation and write failures (disk full, read-only
+/// output directory) instead of panicking mid-sweep.
+pub fn write_csv(dir: &Path, name: &str, header: &str, rows: &[String]) -> io::Result<()> {
+    let path = dir.join(name);
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "{header}")?;
     for row in rows {
-        writeln!(f, "{row}").unwrap();
+        writeln!(f, "{row}")?;
     }
     println!("  [wrote {}]", path.display());
+    Ok(())
 }
 
 /// The standard multi-cluster machine with the given WAN parameters.
@@ -102,31 +155,33 @@ pub fn comm_time_pct(baseline: SimDuration, multi: SimDuration) -> f64 {
 }
 
 /// Pretty-prints a latency × bandwidth grid of percentages.
-pub fn print_grid(title: &str, latencies: &[f64], bandwidths: &[f64], cells: &[Vec<f64>]) {
-    println!("\n  {title}");
-    print!("    lat\\bw  ");
+///
+/// # Errors
+///
+/// Propagates stdout write failures (e.g. a closed pipe) instead of
+/// panicking.
+pub fn print_grid(
+    title: &str,
+    latencies: &[f64],
+    bandwidths: &[f64],
+    cells: &[Vec<f64>],
+) -> io::Result<()> {
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+    writeln!(out, "\n  {title}")?;
+    write!(out, "    lat\\bw  ")?;
     for bw in bandwidths {
-        print!("{bw:>8.2}");
+        write!(out, "{bw:>8.2}")?;
     }
-    println!("  MByte/s");
+    writeln!(out, "  MByte/s")?;
     for (i, lat) in latencies.iter().enumerate() {
-        print!("    {lat:>6.1}ms");
+        write!(out, "    {lat:>6.1}ms")?;
         for v in &cells[i] {
-            print!("{v:>7.1}%");
+            write!(out, "{v:>7.1}%")?;
         }
-        println!();
+        writeln!(out)?;
     }
-}
-
-/// Baseline (single-cluster, 32p) runtimes per app, computed once.
-pub fn baselines(cfg: &SuiteConfig, apps: &[AppId]) -> Vec<(AppId, SimDuration)> {
-    let machine = baseline_machine();
-    apps.iter()
-        .map(|&app| {
-            let run = must_run(app, cfg, Variant::Unoptimized, &machine);
-            (app, run.elapsed)
-        })
-        .collect()
+    Ok(())
 }
 
 #[cfg(test)]
@@ -150,5 +205,13 @@ mod tests {
         if std::env::var("REPRO_SCALE").is_err() {
             assert_eq!(scale_from_env(), Scale::Medium);
         }
+    }
+
+    #[test]
+    fn write_csv_reports_io_errors() {
+        let err = write_csv(Path::new("/nonexistent-dir-for-test"), "x.csv", "h", &[]);
+        assert!(err.is_err());
+        let bench_err: BenchError = err.unwrap_err().into();
+        assert!(bench_err.to_string().contains("i/o error"));
     }
 }

@@ -1,0 +1,531 @@
+//! Engine-backed experiment targets: the sweeps behind Table 1 and
+//! Figures 1/3/4, shared by the `cargo bench` binaries and the
+//! `numagap bench` CLI subcommand.
+//!
+//! Each target enumerates its cells in a fixed canonical order, fans them
+//! across the [`crate::engine`] worker pool, then renders stdout tables,
+//! the CSV artifact and the versioned `BENCH_<target>.json` summary from
+//! the collected results — so every artifact is byte-identical no matter
+//! how many workers ran the sweep (wall-clock fields in the JSON excepted).
+
+use std::io;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use numagap_apps::{run_app, AppId, AppRun, Scale, SuiteConfig, Variant};
+use numagap_net::{
+    uniform_spec, FIG1_BANDWIDTH_MBS, FIG1_LATENCY_MS, FIG4_FIXED_BANDWIDTH_MBS,
+    FIG4_FIXED_LATENCY_MS, PAPER_BANDWIDTHS_MBS, PAPER_LATENCIES_MS,
+};
+use numagap_rt::Machine;
+
+use crate::record::{BenchSummary, RunRecord};
+use crate::{
+    baseline_machine, comm_time_pct, engine, out_dir, print_grid, quick_from_env,
+    relative_speedup_pct, scale_from_env, wan_machine, write_csv, BenchError,
+};
+
+/// Every engine-backed target, in the order `--target all` runs them.
+pub const TARGETS: [&str; 4] = ["table1", "fig1", "fig3", "fig4"];
+
+/// Options for one engine-backed sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOpts {
+    /// Problem scale.
+    pub scale: Scale,
+    /// Use the coarse quick grid (`REPRO_QUICK=1`).
+    pub quick: bool,
+    /// Worker threads.
+    pub jobs: usize,
+    /// Output directory for CSV + JSON artifacts.
+    pub out: PathBuf,
+    /// Maintain a progress line on stderr.
+    pub progress: bool,
+}
+
+impl SweepOpts {
+    /// Options from the environment knobs (`REPRO_SCALE`, `REPRO_QUICK`,
+    /// `REPRO_JOBS`, `REPRO_OUT`) — what the `cargo bench` binaries use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failure to create the output directory.
+    pub fn from_env() -> io::Result<Self> {
+        Ok(SweepOpts {
+            scale: scale_from_env(),
+            quick: quick_from_env(),
+            jobs: engine::jobs_from_env(),
+            out: out_dir()?,
+            progress: true,
+        })
+    }
+
+    fn scale_name(&self) -> String {
+        format!("{:?}", self.scale).to_ascii_lowercase()
+    }
+
+    fn label<'a>(&self, name: &'a str) -> Option<&'a str> {
+        if self.progress {
+            Some(name)
+        } else {
+            None
+        }
+    }
+}
+
+/// Runs one named target ([`TARGETS`]).
+///
+/// # Errors
+///
+/// Unknown target names, simulator failures in any cell, and artifact I/O.
+pub fn run_target(name: &str, opts: &SweepOpts) -> Result<BenchSummary, BenchError> {
+    match name {
+        "table1" => run_table1(opts),
+        "fig1" => run_fig1(opts),
+        "fig3" => run_fig3(opts),
+        "fig4" => run_fig4(opts),
+        other => Err(BenchError::Sim(format!(
+            "unknown bench target '{other}' (expected one of {})",
+            TARGETS.join(", ")
+        ))),
+    }
+}
+
+/// The variants the paper reports for an app (FFT has no optimized one).
+fn variants(app: AppId) -> &'static [Variant] {
+    if app.has_optimized() {
+        &[Variant::Unoptimized, Variant::Optimized]
+    } else {
+        &[Variant::Unoptimized]
+    }
+}
+
+/// The variant Figure 4 measures: the surviving (optimized where found) one.
+fn surviving_variant(app: AppId) -> Variant {
+    if app.has_optimized() {
+        Variant::Optimized
+    } else {
+        Variant::Unoptimized
+    }
+}
+
+/// The Figure 3/4 grid: the paper's full 7x6, or the coarse quick one.
+fn paper_grid(quick: bool) -> (Vec<f64>, Vec<f64>) {
+    if quick {
+        (vec![0.5, 10.0, 300.0], vec![6.3, 0.3, 0.03])
+    } else {
+        (PAPER_LATENCIES_MS.to_vec(), PAPER_BANDWIDTHS_MBS.to_vec())
+    }
+}
+
+/// Runs every cell through the engine; a failing cell aborts the sweep
+/// with its app/variant named. Each result carries its wall-clock seconds.
+fn sweep<C: Sync>(
+    cells: &[C],
+    opts: &SweepOpts,
+    label: &str,
+    run: impl Fn(&C) -> (String, Result<AppRun, String>) + Sync,
+) -> Result<Vec<(AppRun, f64)>, BenchError> {
+    let outs = engine::run_cells(cells, opts.jobs, opts.label(label), |_, cell| {
+        let start = Instant::now();
+        let (what, result) = run(cell);
+        (what, result, start.elapsed().as_secs_f64())
+    });
+    outs.into_iter()
+        .map(|(what, result, wall)| match result {
+            Ok(run) => Ok((run, wall)),
+            Err(e) => Err(BenchError::Sim(format!("{what} failed: {e}"))),
+        })
+        .collect()
+}
+
+fn app_cell(
+    app: AppId,
+    cfg: &SuiteConfig,
+    variant: Variant,
+    machine: &Machine,
+) -> (String, Result<AppRun, String>) {
+    (
+        format!("{app}/{variant}"),
+        run_app(app, cfg, variant, machine).map_err(|e| e.to_string()),
+    )
+}
+
+/// Figure 3: 12 panels of relative speedup across the bandwidth × latency
+/// grid, all (baseline + grid) cells fanned across the worker pool.
+pub fn run_fig3(opts: &SweepOpts) -> Result<BenchSummary, BenchError> {
+    enum Cell {
+        Base(AppId),
+        Grid(AppId, Variant, f64, f64),
+    }
+    let cfg = SuiteConfig::at(opts.scale);
+    let (lats, bws) = paper_grid(opts.quick);
+    let mut cells = Vec::new();
+    for app in AppId::ALL {
+        cells.push(Cell::Base(app));
+    }
+    for app in AppId::ALL {
+        for &variant in variants(app) {
+            for &lat in &lats {
+                for &bw in &bws {
+                    cells.push(Cell::Grid(app, variant, lat, bw));
+                }
+            }
+        }
+    }
+    println!("== Figure 3: speedup relative to an all-Myrinet cluster ==");
+    println!(
+        "   scale={:?} quick={} jobs={} machine=4x8, grid {}x{}, {} cells",
+        opts.scale,
+        opts.quick,
+        opts.jobs,
+        lats.len(),
+        bws.len(),
+        cells.len()
+    );
+    let t0 = Instant::now();
+    let outs = sweep(&cells, opts, "fig3", |cell| match *cell {
+        Cell::Base(app) => app_cell(app, &cfg, Variant::Unoptimized, &baseline_machine()),
+        Cell::Grid(app, variant, lat, bw) => app_cell(app, &cfg, variant, &wan_machine(lat, bw)),
+    })?;
+    let mut summary = BenchSummary::new("fig3", opts.scale_name(), opts.quick, opts.jobs);
+    summary.wall_s = t0.elapsed().as_secs_f64();
+
+    // Baselines land first (enumeration order).
+    let mut base = Vec::new();
+    for (cell, (run, wall)) in cells.iter().zip(&outs) {
+        if let Cell::Base(app) = cell {
+            base.push((*app, run.elapsed));
+            summary
+                .records
+                .push(RunRecord::from_run(format!("baseline/{app}"), *wall, run));
+        }
+    }
+    let baseline_of = |app: AppId| {
+        base.iter()
+            .find(|(a, _)| *a == app)
+            .expect("baseline ran")
+            .1
+    };
+
+    // Render panels and rows in canonical cell order.
+    let mut rows = Vec::new();
+    let mut grid_cells: Vec<Vec<f64>> = Vec::new();
+    let mut grid_row: Vec<f64> = Vec::new();
+    for (cell, (run, wall)) in cells.iter().zip(&outs) {
+        let Cell::Grid(app, variant, lat, bw) = cell else {
+            continue;
+        };
+        let tl = baseline_of(*app);
+        if *variant == Variant::Unoptimized
+            && grid_cells.is_empty()
+            && grid_row.is_empty()
+            && *lat == lats[0]
+            && *bw == bws[0]
+        {
+            println!("\n{app}: all-Myrinet 32p runtime {:.3}s", tl.as_secs_f64());
+        }
+        let pct = relative_speedup_pct(tl, run.elapsed);
+        rows.push(format!(
+            "{app},{variant},{lat},{bw},{pct:.2},{:.6}",
+            run.elapsed.as_secs_f64()
+        ));
+        summary.records.push(RunRecord::from_run(
+            format!("{app}/{variant}/lat{lat}/bw{bw}"),
+            *wall,
+            run,
+        ));
+        grid_row.push(pct);
+        if grid_row.len() == bws.len() {
+            grid_cells.push(std::mem::take(&mut grid_row));
+            if grid_cells.len() == lats.len() {
+                print_grid(
+                    &format!("{app}, {variant}, 32 processors, 4 clusters"),
+                    &lats,
+                    &bws,
+                    &grid_cells,
+                )?;
+                grid_cells.clear();
+            }
+        }
+    }
+    write_csv(
+        &opts.out,
+        "fig3.csv",
+        "app,variant,latency_ms,bandwidth_mbs,rel_speedup_pct,elapsed_s",
+        &rows,
+    )?;
+    write_summary(&summary, opts)?;
+    Ok(summary)
+}
+
+/// Figure 4: communication-time share — bandwidth sweep at a fixed latency
+/// and latency sweep at a fixed bandwidth, surviving variants.
+pub fn run_fig4(opts: &SweepOpts) -> Result<BenchSummary, BenchError> {
+    enum Cell {
+        Base(AppId),
+        Bw(AppId, f64),
+        Lat(AppId, f64),
+    }
+    let cfg = SuiteConfig::at(opts.scale);
+    let (lats, bws) = paper_grid(opts.quick);
+    let mut cells = Vec::new();
+    for app in AppId::ALL {
+        cells.push(Cell::Base(app));
+    }
+    for app in AppId::ALL {
+        for &bw in &bws {
+            cells.push(Cell::Bw(app, bw));
+        }
+    }
+    for app in AppId::ALL {
+        for &lat in &lats {
+            cells.push(Cell::Lat(app, lat));
+        }
+    }
+    println!(
+        "== Figure 4: inter-cluster communication time (scale={:?}, jobs={}) ==",
+        opts.scale, opts.jobs
+    );
+    let t0 = Instant::now();
+    let outs = sweep(&cells, opts, "fig4", |cell| match *cell {
+        Cell::Base(app) => app_cell(app, &cfg, Variant::Unoptimized, &baseline_machine()),
+        Cell::Bw(app, bw) => app_cell(
+            app,
+            &cfg,
+            surviving_variant(app),
+            &wan_machine(FIG4_FIXED_LATENCY_MS, bw),
+        ),
+        Cell::Lat(app, lat) => app_cell(
+            app,
+            &cfg,
+            surviving_variant(app),
+            &wan_machine(lat, FIG4_FIXED_BANDWIDTH_MBS),
+        ),
+    })?;
+    let mut summary = BenchSummary::new("fig4", opts.scale_name(), opts.quick, opts.jobs);
+    summary.wall_s = t0.elapsed().as_secs_f64();
+    let mut base = Vec::new();
+    for (cell, (run, wall)) in cells.iter().zip(&outs) {
+        if let Cell::Base(app) = cell {
+            base.push((*app, run.elapsed));
+            summary
+                .records
+                .push(RunRecord::from_run(format!("baseline/{app}"), *wall, run));
+        }
+    }
+    let baseline_of = |app: AppId| {
+        base.iter()
+            .find(|(a, _)| *a == app)
+            .expect("baseline ran")
+            .1
+    };
+
+    let mut rows = Vec::new();
+    println!("\n-- left: sweep bandwidth at {FIG4_FIXED_LATENCY_MS} ms latency --");
+    println!("{:<12} comm% per bandwidth (descending MB/s)", "Program");
+    let mut current: Option<AppId> = None;
+    for (cell, (run, wall)) in cells.iter().zip(&outs) {
+        let Cell::Bw(app, bw) = cell else { continue };
+        if current != Some(*app) {
+            if current.is_some() {
+                println!();
+            }
+            print!("{:<12}", app.to_string());
+            current = Some(*app);
+        }
+        let pct = comm_time_pct(baseline_of(*app), run.elapsed);
+        print!(" {pct:>6.1}%");
+        rows.push(format!(
+            "{app},bandwidth_sweep,{FIG4_FIXED_LATENCY_MS},{bw},{pct:.2}"
+        ));
+        summary.records.push(RunRecord::from_run(
+            format!("{app}/bw{bw}@lat{FIG4_FIXED_LATENCY_MS}"),
+            *wall,
+            run,
+        ));
+    }
+    println!();
+    println!("\n-- right: sweep latency at {FIG4_FIXED_BANDWIDTH_MBS} MB/s --");
+    println!("{:<12} comm% per latency (ascending ms)", "Program");
+    let mut current: Option<AppId> = None;
+    for (cell, (run, wall)) in cells.iter().zip(&outs) {
+        let Cell::Lat(app, lat) = cell else { continue };
+        if current != Some(*app) {
+            if current.is_some() {
+                println!();
+            }
+            print!("{:<12}", app.to_string());
+            current = Some(*app);
+        }
+        let pct = comm_time_pct(baseline_of(*app), run.elapsed);
+        print!(" {pct:>6.1}%");
+        rows.push(format!(
+            "{app},latency_sweep,{lat},{FIG4_FIXED_BANDWIDTH_MBS},{pct:.2}"
+        ));
+        summary.records.push(RunRecord::from_run(
+            format!("{app}/lat{lat}@bw{FIG4_FIXED_BANDWIDTH_MBS}"),
+            *wall,
+            run,
+        ));
+    }
+    println!();
+    write_csv(
+        &opts.out,
+        "fig4.csv",
+        "app,sweep,latency_ms,bandwidth_mbs,comm_time_pct",
+        &rows,
+    )?;
+    write_summary(&summary, opts)?;
+    Ok(summary)
+}
+
+/// Table 1: single-cluster speedups (1, 8, 32 processors) per app, plus the
+/// static Table 2 listing.
+pub fn run_table1(opts: &SweepOpts) -> Result<BenchSummary, BenchError> {
+    let cfg = SuiteConfig::at(opts.scale);
+    let procs = [1usize, 8, 32];
+    let mut cells = Vec::new();
+    for app in AppId::ALL {
+        for &p in &procs {
+            cells.push((app, p));
+        }
+    }
+    println!(
+        "== Table 1: single-cluster performance (scale={:?}, jobs={}) ==\n",
+        opts.scale, opts.jobs
+    );
+    let t0 = Instant::now();
+    let outs = sweep(&cells, opts, "table1", |&(app, p)| {
+        app_cell(
+            app,
+            &cfg,
+            Variant::Unoptimized,
+            &Machine::new(uniform_spec(p)),
+        )
+    })?;
+    let mut summary = BenchSummary::new("table1", opts.scale_name(), opts.quick, opts.jobs);
+    summary.wall_s = t0.elapsed().as_secs_f64();
+    for (&(app, p), (run, wall)) in cells.iter().zip(&outs) {
+        summary
+            .records
+            .push(RunRecord::from_run(format!("{app}/p{p}"), *wall, run));
+    }
+    let run_of = |app: AppId, p: usize| {
+        let idx = cells
+            .iter()
+            .position(|&c| c == (app, p))
+            .expect("cell enumerated");
+        &outs[idx].0
+    };
+    println!(
+        "{:<12} {:>12} {:>12} {:>16} {:>14}",
+        "Program", "Speedup 32p", "Speedup 8p", "Traffic MB/s@32", "Runtime 32p(s)"
+    );
+    let mut rows = Vec::new();
+    for app in AppId::ALL {
+        let serial = run_of(app, 1);
+        let p8 = run_of(app, 8);
+        let p32 = run_of(app, 32);
+        let s8 = serial.elapsed.as_secs_f64() / p8.elapsed.as_secs_f64();
+        let s32 = serial.elapsed.as_secs_f64() / p32.elapsed.as_secs_f64();
+        println!(
+            "{:<12} {:>12.1} {:>12.1} {:>16.2} {:>14.3}",
+            app.to_string(),
+            s32,
+            s8,
+            p32.total_mbs,
+            p32.elapsed.as_secs_f64()
+        );
+        rows.push(format!(
+            "{app},{s32:.2},{s8:.2},{:.3},{:.6},{:.6}",
+            p32.total_mbs,
+            p32.elapsed.as_secs_f64(),
+            serial.elapsed.as_secs_f64()
+        ));
+    }
+    write_csv(
+        &opts.out,
+        "table1.csv",
+        "app,speedup32,speedup8,traffic_mbs_32,runtime32_s,runtime1_s",
+        &rows,
+    )?;
+    println!("\n== Table 2: communication patterns and optimizations ==\n");
+    println!(
+        "{:<12} {:<28} {:<30}",
+        "Program", "Communication", "Optimization"
+    );
+    for app in AppId::ALL {
+        println!(
+            "{:<12} {:<28} {:<30}",
+            app.to_string(),
+            app.pattern(),
+            app.optimization()
+        );
+    }
+    write_summary(&summary, opts)?;
+    Ok(summary)
+}
+
+/// Figure 1: inter-cluster volume vs message rate for the original
+/// programs at the 0.5 ms / 6 MB/s operating point.
+pub fn run_fig1(opts: &SweepOpts) -> Result<BenchSummary, BenchError> {
+    let cfg = SuiteConfig::at(opts.scale);
+    let cells = AppId::ALL.to_vec();
+    println!(
+        "== Figure 1: inter-cluster traffic, 4 clusters x 8, link {} ms / {} MB/s \
+         (scale={:?}, jobs={}) ==\n",
+        FIG1_LATENCY_MS, FIG1_BANDWIDTH_MBS, opts.scale, opts.jobs
+    );
+    let t0 = Instant::now();
+    let outs = sweep(&cells, opts, "fig1", |&app| {
+        app_cell(
+            app,
+            &cfg,
+            Variant::Unoptimized,
+            &wan_machine(FIG1_LATENCY_MS, FIG1_BANDWIDTH_MBS),
+        )
+    })?;
+    let mut summary = BenchSummary::new("fig1", opts.scale_name(), opts.quick, opts.jobs);
+    summary.wall_s = t0.elapsed().as_secs_f64();
+    println!(
+        "{:<12} {:>16} {:>16} {:>12}",
+        "Program", "Volume MB/s/clus", "Messages/s/clus", "Runtime (s)"
+    );
+    let mut rows = Vec::new();
+    for (app, (run, wall)) in cells.iter().zip(&outs) {
+        println!(
+            "{:<12} {:>16.3} {:>16.0} {:>12.3}",
+            app.to_string(),
+            run.inter_mbs_per_cluster,
+            run.inter_msgs_per_cluster,
+            run.elapsed.as_secs_f64()
+        );
+        rows.push(format!(
+            "{app},{:.4},{:.1},{:.6}",
+            run.inter_mbs_per_cluster,
+            run.inter_msgs_per_cluster,
+            run.elapsed.as_secs_f64()
+        ));
+        summary.records.push(RunRecord::from_run(
+            format!("{app}/unoptimized"),
+            *wall,
+            run,
+        ));
+    }
+    write_csv(
+        &opts.out,
+        "fig1.csv",
+        "app,inter_mbs_per_cluster,inter_msgs_per_sec_per_cluster,elapsed_s",
+        &rows,
+    )?;
+    write_summary(&summary, opts)?;
+    Ok(summary)
+}
+
+fn write_summary(summary: &BenchSummary, opts: &SweepOpts) -> Result<(), BenchError> {
+    let path = opts.out.join(format!("BENCH_{}.json", summary.target));
+    summary.write(&path)?;
+    println!("  [wrote {}]", path.display());
+    Ok(())
+}

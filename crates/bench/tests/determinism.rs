@@ -1,0 +1,93 @@
+//! Serial-vs-parallel equivalence of the experiment engine.
+//!
+//! The simulation is deterministic per cell and the engine collects results
+//! in canonical cell order, so every artifact a sweep produces must be
+//! independent of the worker count: CSV files byte-identical, and the
+//! `BENCH_*.json` summaries identical modulo wall-clock timings (and the
+//! recorded `jobs` value itself).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use numagap_apps::Scale;
+use numagap_bench::json::{parse, Json};
+use numagap_bench::record::{compare, CompareOpts};
+use numagap_bench::targets::{run_target, SweepOpts};
+
+fn opts(jobs: usize, out: &Path) -> SweepOpts {
+    SweepOpts {
+        scale: Scale::Small,
+        quick: true,
+        jobs,
+        out: out.to_path_buf(),
+        progress: false,
+    }
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("numagap_determinism_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create temp out dir");
+    dir
+}
+
+/// Drops the fields that legitimately differ between two runs of the same
+/// sweep: wall-clock timings and the worker count that produced them.
+fn strip_nondeterministic(json: Json) -> Json {
+    match json {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "wall_s" && k != "jobs")
+                .map(|(k, v)| (k, strip_nondeterministic(v)))
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.into_iter().map(strip_nondeterministic).collect()),
+        other => other,
+    }
+}
+
+#[test]
+fn fig3_serial_and_parallel_runs_are_equivalent() {
+    let d1 = fresh_dir("j1");
+    let d8 = fresh_dir("j8");
+    let s1 = run_target("fig3", &opts(1, &d1)).expect("serial fig3 sweep");
+    let mut s8 = run_target("fig3", &opts(8, &d8)).expect("parallel fig3 sweep");
+
+    // The CSV artifact must be byte-identical at any worker count.
+    let csv1 = fs::read(d1.join("fig3.csv")).expect("serial fig3.csv");
+    let csv8 = fs::read(d8.join("fig3.csv")).expect("parallel fig3.csv");
+    assert_eq!(csv1, csv8, "fig3.csv bytes depend on the worker count");
+
+    // The JSON summaries agree once wall-clock noise is removed.
+    let j1 = fs::read_to_string(d1.join("BENCH_fig3.json")).expect("serial summary");
+    let j8 = fs::read_to_string(d8.join("BENCH_fig3.json")).expect("parallel summary");
+    let j1 = strip_nondeterministic(parse(&j1).expect("serial summary parses"));
+    let j8 = strip_nondeterministic(parse(&j8).expect("parallel summary parses"));
+    assert_eq!(j1, j8, "BENCH_fig3.json differs beyond wall-clock fields");
+
+    // Compare mode agrees: in virtual-only mode the two runs are clean.
+    let virtual_only = CompareOpts {
+        wall_clock: false,
+        ..CompareOpts::default()
+    };
+    let report = compare(&s1, &s8, &virtual_only);
+    assert!(
+        report.is_clean(),
+        "virtual-only compare of identical sweeps found: {:?}",
+        report.findings
+    );
+
+    // ... and a perturbed deterministic field is flagged as a regression.
+    s8.records[0].checksum += 1.0;
+    let report = compare(&s1, &s8, &virtual_only);
+    assert!(
+        !report.is_clean(),
+        "compare missed a checksum change in cell '{}'",
+        s8.records[0].key
+    );
+
+    let _ = fs::remove_dir_all(&d1);
+    let _ = fs::remove_dir_all(&d8);
+}

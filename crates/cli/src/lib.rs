@@ -7,6 +7,8 @@
 //! numagap suite [machine flags]          # all six apps, both variants
 //! numagap check [--app X] [machine flags]  # communication sanitizer
 //! numagap soak [--app X ...] [machine flags]  # fault-injection sweeps
+//! numagap bench [--target T] [--jobs N]  # parallel experiment engine
+//! numagap bench --compare OLD NEW        # diff two BENCH_*.json summaries
 //! numagap info [machine flags]           # print the machine and its gap
 //! numagap help
 //! ```
@@ -27,6 +29,9 @@ use numagap_analysis::{check_rank_lints, Analysis, Diagnostic, DiagnosticKind};
 use numagap_apps::{
     checksum_tolerance, run_app, serial_checksum, AppId, Scale, SuiteConfig, Variant,
 };
+use numagap_bench::engine;
+use numagap_bench::record::{compare, BenchSummary, CompareOpts};
+use numagap_bench::targets::{run_target, SweepOpts, TARGETS};
 use numagap_net::{das_spec, numa_gap, FaultPlan, TwoLayerSpec};
 use numagap_rt::{Machine, TransportConfig};
 use numagap_sim::{SimDuration, SimTime};
@@ -49,6 +54,9 @@ pub enum Command {
     Check(CheckArgs),
     /// Sweep applications across fault intensities and seeds.
     Soak(SoakArgs),
+    /// Run experiment targets through the parallel engine, or compare two
+    /// `BENCH_*.json` summaries.
+    Bench(BenchArgs),
     /// Describe the machine.
     Info(MachineArgs),
     /// Build a real Awari endgame database.
@@ -220,6 +228,31 @@ pub struct SoakArgs {
     /// Skip the mid-run gateway outage that is otherwise planted from each
     /// app's fault-free timing probe.
     pub no_outage: bool,
+    /// Worker threads for the sweep's cells (`REPRO_JOBS` / available
+    /// parallelism when unset). Cell outputs stay in canonical order.
+    pub jobs: Option<usize>,
+}
+
+/// Flags of the `bench` command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchArgs {
+    /// Which target to run: one of [`TARGETS`] or `all`.
+    pub target: String,
+    /// Worker threads (`REPRO_JOBS` / available parallelism when unset).
+    pub jobs: Option<usize>,
+    /// Problem scale (`REPRO_SCALE`, default medium, when unset).
+    pub scale: Option<Scale>,
+    /// Use the coarse quick grids (`REPRO_QUICK=1` also enables this).
+    pub quick: bool,
+    /// Output directory (`REPRO_OUT` / `bench_results` when unset).
+    pub out: Option<String>,
+    /// Compare two `BENCH_*.json` files instead of running a sweep.
+    pub compare: Option<(String, String)>,
+    /// Wall-clock regression threshold for `--compare`.
+    pub threshold: f64,
+    /// In `--compare`, check only deterministic fields (for baselines
+    /// recorded on different hardware).
+    pub virtual_only: bool,
 }
 
 /// A parse failure with a user-facing message.
@@ -322,6 +355,13 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
     let mut repro = false;
     let mut timeout_s = 3600u64;
     let mut no_outage = false;
+    let mut jobs = None;
+    let mut target = "all".to_string();
+    let mut quick = false;
+    let mut out = None;
+    let mut compare_paths = None;
+    let mut threshold = 1.5f64;
+    let mut virtual_only = false;
     while let Some(flag) = it.next() {
         match flag {
             "--app" => apps.push(parse_app(take_value(flag, &mut it)?)?),
@@ -361,6 +401,40 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             "--repro" => repro = true,
             "--timeout" => timeout_s = parse_num(flag, take_value(flag, &mut it)?)?,
             "--no-outage" => no_outage = true,
+            "--jobs" => {
+                let n: usize = parse_num(flag, take_value(flag, &mut it)?)?;
+                if n == 0 {
+                    return Err(ParseError("--jobs must be at least 1".into()));
+                }
+                jobs = Some(n);
+            }
+            "--target" => {
+                target = take_value(flag, &mut it)?.to_ascii_lowercase();
+                if target != "all" && !TARGETS.contains(&target.as_str()) {
+                    return Err(ParseError(format!(
+                        "unknown bench target '{target}' (expected all, {})",
+                        TARGETS.join(", ")
+                    )));
+                }
+            }
+            "--quick" => quick = true,
+            "--out" => out = Some(take_value(flag, &mut it)?.to_string()),
+            "--compare" => {
+                let old = take_value(flag, &mut it)?.to_string();
+                let new = it.next().ok_or_else(|| {
+                    ParseError("--compare needs two files: OLD.json NEW.json".into())
+                })?;
+                compare_paths = Some((old, new.to_string()));
+            }
+            "--threshold" => {
+                threshold = parse_num(flag, take_value(flag, &mut it)?)?;
+                if !threshold.is_finite() || threshold <= 1.0 {
+                    return Err(ParseError(format!(
+                        "--threshold must be greater than 1, got {threshold}"
+                    )));
+                }
+            }
+            "--virtual-only" => virtual_only = true,
             other => return Err(ParseError(format!("unknown flag '{other}'"))),
         }
     }
@@ -410,6 +484,17 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             repro,
             timeout_s,
             no_outage,
+            jobs,
+        })),
+        "bench" => Ok(Command::Bench(BenchArgs {
+            target,
+            jobs,
+            scale,
+            quick,
+            out,
+            compare: compare_paths,
+            threshold,
+            virtual_only,
         })),
         "info" => Ok(Command::Info(machine)),
         "awari-db" => Ok(Command::AwariDb { stones, machine }),
@@ -427,6 +512,8 @@ USAGE:
   numagap suite [MACHINE OPTIONS]
   numagap check [--app <name>] [--variant <unopt|opt>] [MACHINE OPTIONS]
   numagap soak  [--app <name> ...] [SOAK OPTIONS] [MACHINE OPTIONS]
+  numagap bench [--target <name>] [BENCH OPTIONS]
+  numagap bench --compare <OLD.json> <NEW.json> [--threshold <F>] [--virtual-only]
   numagap info  [MACHINE OPTIONS]
   numagap help
 
@@ -459,10 +546,28 @@ SOAK OPTIONS:
   --repro                    replay each cell; require identical schedule
   --timeout <secs>           virtual-time hang limit     [default: 3600]
   --no-outage                skip the planted mid-run gateway outage
+  --jobs <N>                 worker threads for the sweep's cells
+                             [default: REPRO_JOBS, else available cores]
   Each cell runs one app at drop=i, duplicate=i/2, reorder=i/2 plus a
   gateway outage parked mid-run (placed from a fault-free probe), then
   verifies the checksum against the serial reference. Failing cells print
   the reproducing seed and full command line.
+
+BENCH OPTIONS:
+  --target <name>            table1 | fig1 | fig3 | fig4 | all [default: all]
+  --jobs <N>                 worker threads [default: REPRO_JOBS, else cores]
+  --scale <small|medium|paper>  problem size            [default: medium]
+  --quick                    coarse grids (same as REPRO_QUICK=1)
+  --out <dir>                artifact directory [default: REPRO_OUT, else
+                             bench_results/]
+  Each target fans its independent simulation cells across the worker
+  pool and writes <target>.csv plus a versioned BENCH_<target>.json
+  summary. Artifacts are byte-identical for any --jobs value.
+  --compare <OLD> <NEW>      diff two BENCH_*.json files instead of running;
+                             determinism drift and wall-clock regressions
+                             beyond --threshold [default: 1.5] are findings
+  --virtual-only             compare deterministic fields only (baselines
+                             recorded on different hardware)
 
 CHECK:
   Runs each selected app under the communication sanitizer and reports
@@ -675,6 +780,7 @@ pub fn execute(cmd: Command) -> i32 {
             }
         }
         Command::Soak(args) => execute_soak(&args),
+        Command::Bench(args) => execute_bench(&args),
         Command::Run(args) => {
             let cfg = SuiteConfig::at(args.scale);
             let mut machine = args.machine.machine();
@@ -760,10 +866,216 @@ pub fn execute(cmd: Command) -> i32 {
     }
 }
 
+/// Executes the `bench` command: either fans the selected targets across
+/// the worker pool, or (with `--compare`) diffs two `BENCH_*.json` files.
+pub fn execute_bench(args: &BenchArgs) -> i32 {
+    if let Some((old_path, new_path)) = &args.compare {
+        let load = |p: &str| BenchSummary::load(std::path::Path::new(p));
+        let (old, new) = match (load(old_path), load(new_path)) {
+            (Ok(o), Ok(n)) => (o, n),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("bench --compare: {e}");
+                return EXIT_ERROR;
+            }
+        };
+        let rep = compare(
+            &old,
+            &new,
+            &CompareOpts {
+                threshold: args.threshold,
+                wall_clock: !args.virtual_only,
+            },
+        );
+        println!(
+            "comparing {} ({} records) against baseline {}",
+            new_path,
+            new.records.len(),
+            old_path
+        );
+        for note in &rep.notes {
+            println!("  note: {note}");
+        }
+        for finding in &rep.findings {
+            println!("  FINDING: {finding}");
+        }
+        if rep.is_clean() {
+            println!("compare: clean");
+            0
+        } else {
+            println!("compare: {} finding(s)", rep.findings.len());
+            EXIT_FINDINGS
+        }
+    } else {
+        let out = match &args.out {
+            Some(dir) => {
+                let path = std::path::PathBuf::from(dir);
+                if let Err(e) = std::fs::create_dir_all(&path) {
+                    eprintln!("bench: cannot create output directory {dir}: {e}");
+                    return EXIT_ERROR;
+                }
+                path
+            }
+            None => match numagap_bench::out_dir() {
+                Ok(path) => path,
+                Err(e) => {
+                    eprintln!("bench: cannot create output directory: {e}");
+                    return EXIT_ERROR;
+                }
+            },
+        };
+        let opts = SweepOpts {
+            scale: args.scale.unwrap_or_else(numagap_bench::scale_from_env),
+            quick: args.quick || numagap_bench::quick_from_env(),
+            jobs: args.jobs.unwrap_or_else(engine::jobs_from_env),
+            out,
+            progress: true,
+        };
+        let names: Vec<&str> = if args.target == "all" {
+            TARGETS.to_vec()
+        } else {
+            vec![args.target.as_str()]
+        };
+        for (i, name) in names.iter().enumerate() {
+            if i > 0 {
+                println!();
+            }
+            if let Err(e) = run_target(name, &opts) {
+                eprintln!("bench {name}: {e}");
+                return EXIT_ERROR;
+            }
+        }
+        0
+    }
+}
+
+/// One (app, variant, intensity, seed) soak cell, with the fault-free
+/// makespan its outage window is derived from.
+struct SoakCell {
+    app: AppId,
+    variant: Variant,
+    intensity: f64,
+    seed: u64,
+    clean: SimDuration,
+}
+
+/// Runs one soak cell; returns the table line plus any failure records
+/// (already formatted with their reproduction command line).
+fn run_soak_cell(
+    args: &SoakArgs,
+    cfg: &SuiteConfig,
+    base_spec: &TwoLayerSpec,
+    expected: f64,
+    cell: &SoakCell,
+) -> (String, Vec<String>) {
+    let SoakCell {
+        app,
+        variant,
+        intensity,
+        seed,
+        clean,
+    } = *cell;
+    let tol = checksum_tolerance(app).max(1e-15);
+    let mut plan = FaultPlan::new(seed)
+        .drop_prob(intensity)
+        .duplicate_prob(intensity / 2.0)
+        .reorder_prob(intensity / 2.0);
+    if !args.no_outage && args.machine.clusters > 1 {
+        let t = clean.as_nanos();
+        plan = plan.gateway_outage(
+            1,
+            SimTime::from_nanos(t * 3 / 10),
+            SimTime::from_nanos(t / 2),
+        );
+    }
+    let spec = base_spec.clone().fault_plan(plan);
+    let machine = Machine::new(spec.clone())
+        .with_reliable_transport(TransportConfig::for_spec(&spec))
+        .time_limit(SimDuration::from_secs(args.timeout_s));
+    let repro_cmd = format!(
+        "numagap soak --app {app} --variant {variant} --scale {:?} \
+         --clusters {} --procs {} --latency {} --bandwidth {} \
+         --intensities {intensity} --seeds 1 --seed {seed}{}",
+        args.scale,
+        args.machine.clusters,
+        args.machine.procs,
+        args.machine.latency_ms,
+        args.machine.bandwidth_mbs,
+        if args.no_outage { " --no-outage" } else { "" }
+    )
+    .to_ascii_lowercase();
+    let (app_s, var_s) = (app.to_string(), variant.to_string());
+    let run = match run_app(app, cfg, variant, &machine) {
+        Ok(run) => run,
+        Err(e) => {
+            let line = format!(
+                "{app_s:<8} {var_s:<12} {intensity:>9} {seed:>6} {:>14} \
+                 {:>7} {:>8} {:>8}  FAILED: {e}",
+                "-", "-", "-", "-"
+            );
+            let failure = format!(
+                "{app}/{variant} intensity {intensity} seed {seed}: {e}\n    \
+                 reproduce: {repro_cmd}"
+            );
+            return (line, vec![failure]);
+        }
+    };
+    let err = (run.checksum - expected).abs() / expected.abs().max(run.checksum.abs()).max(1e-30);
+    let mut problems: Vec<String> = Vec::new();
+    if err > tol {
+        problems.push(format!(
+            "checksum {} drifted from serial {expected}",
+            run.checksum
+        ));
+    }
+    if args.repro {
+        match run_app(app, cfg, variant, &machine) {
+            Ok(replay) => {
+                if replay.elapsed != run.elapsed
+                    || replay.checksum != run.checksum
+                    || replay.faults_injected != run.faults_injected
+                    || replay.transport != run.transport
+                {
+                    problems.push(format!(
+                        "seed {seed} did not replay identically \
+                         ({} vs {}, {} vs {} faults)",
+                        replay.elapsed, run.elapsed, replay.faults_injected, run.faults_injected
+                    ));
+                }
+            }
+            Err(e) => problems.push(format!("replay failed: {e}")),
+        }
+    }
+    let stats = run.transport.unwrap_or_default();
+    let verdict = if problems.is_empty() { "ok" } else { "FAILED" };
+    let line = format!(
+        "{app_s:<8} {var_s:<12} {intensity:>9} {seed:>6} {:>14} {:>7} \
+         {:>8} {:>7.1}%  {verdict}",
+        run.elapsed.to_string(),
+        run.faults_injected,
+        stats.retransmits,
+        stats.goodput() * 100.0
+    );
+    let failures = problems
+        .into_iter()
+        .map(|problem| {
+            format!(
+                "{app}/{variant} intensity {intensity} seed {seed}: {problem}\n    \
+                 reproduce: {repro_cmd}"
+            )
+        })
+        .collect();
+    (line, failures)
+}
+
 /// Executes the `soak` command: apps x fault intensities x seeds, each
 /// cell verified against the serial reference and (with `--repro`)
 /// replayed to prove the seed reproduces the exact fault schedule.
+///
+/// Cells are independent deterministic simulations, so they fan across the
+/// experiment engine's worker pool (`--jobs`); the table and the failure
+/// list are rendered in canonical cell order regardless of worker count.
 pub fn execute_soak(args: &SoakArgs) -> i32 {
+    let jobs = args.jobs.unwrap_or_else(engine::jobs_from_env);
     let cfg = SuiteConfig::at(args.scale);
     let apps: Vec<AppId> = if args.apps.is_empty() {
         AppId::ALL.to_vec()
@@ -785,137 +1097,85 @@ pub fn execute_soak(args: &SoakArgs) -> i32 {
         Some(v) => vec![v],
         None => vec![Variant::Unoptimized, Variant::Optimized],
     };
-    let cells =
+    let pairs: Vec<(AppId, Variant)> = apps
+        .iter()
+        .flat_map(|&app| variants.iter().map(move |&v| (app, v)))
+        .collect();
+    let total =
         apps.len() as u64 * variants.len() as u64 * args.intensities.len() as u64 * args.seeds;
     println!(
-        "soak: {} app(s) x {} variant(s) x {:?} x {} seed(s) from {} = {} cell(s) on {}",
+        "soak: {} app(s) x {} variant(s) x {:?} x {} seed(s) from {} = {} cell(s) on {}, \
+         {jobs} worker(s)",
         apps.len(),
         variants.len(),
         args.intensities,
         args.seeds,
         base_seed,
-        cells,
+        total,
         base_spec.topology.label()
     );
     println!(
         "{:<8} {:<12} {:>9} {:>6} {:>14} {:>7} {:>8} {:>8}  verdict",
         "app", "variant", "intensity", "seed", "runtime", "faults", "retrans", "goodput"
     );
-    let mut failures: Vec<String> = Vec::new();
-    let mut ran = 0u64;
-    for &app in &apps {
-        let expected = serial_checksum(app, &cfg);
-        let tol = checksum_tolerance(app).max(1e-15);
-        for &variant in &variants {
-            // Fault-free probe: fixes the expected makespan and tells us
-            // where mid-run is, so the planted outage window actually bites.
-            let clean = match run_app(app, &cfg, variant, &Machine::new(base_spec.clone())) {
-                Ok(run) => run,
-                Err(e) => {
-                    println!(
-                        "{:<8} {:<12} fault-free probe failed: {e}",
-                        app.to_string(),
-                        variant.to_string()
-                    );
-                    failures.push(format!("{app}/{variant}: fault-free probe failed: {e}"));
-                    continue;
-                }
-            };
+    // Serial references (one per app) and fault-free probes (one per pair):
+    // independent cells themselves, so they use the pool too. The probe
+    // fixes each pair's expected makespan and tells us where mid-run is, so
+    // the planted outage window actually bites.
+    let expected: Vec<f64> =
+        engine::run_cells(&apps, jobs, None, |_, &app| serial_checksum(app, &cfg));
+    let probes = engine::run_cells(&pairs, jobs, None, |_, &(app, variant)| {
+        run_app(app, &cfg, variant, &Machine::new(base_spec.clone()))
+            .map(|run| run.elapsed)
+            .map_err(|e| e.to_string())
+    });
+    // Enumerate the fault cells in canonical order; pairs whose probe
+    // failed contribute no cells (their failure is reported below).
+    let mut cells: Vec<SoakCell> = Vec::new();
+    for (&(app, variant), probe) in pairs.iter().zip(&probes) {
+        if let Ok(clean) = probe {
             for &intensity in &args.intensities {
                 for k in 0..args.seeds {
-                    let seed = base_seed + k;
-                    ran += 1;
-                    let mut plan = FaultPlan::new(seed)
-                        .drop_prob(intensity)
-                        .duplicate_prob(intensity / 2.0)
-                        .reorder_prob(intensity / 2.0);
-                    if !args.no_outage && args.machine.clusters > 1 {
-                        let t = clean.elapsed.as_nanos();
-                        plan = plan.gateway_outage(
-                            1,
-                            SimTime::from_nanos(t * 3 / 10),
-                            SimTime::from_nanos(t / 2),
-                        );
-                    }
-                    let spec = base_spec.clone().fault_plan(plan);
-                    let machine = Machine::new(spec.clone())
-                        .with_reliable_transport(TransportConfig::for_spec(&spec))
-                        .time_limit(SimDuration::from_secs(args.timeout_s));
-                    let repro_cmd = format!(
-                        "numagap soak --app {app} --variant {variant} --scale {:?} \
-                         --clusters {} --procs {} --latency {} --bandwidth {} \
-                         --intensities {intensity} --seeds 1 --seed {seed}{}",
-                        args.scale,
-                        args.machine.clusters,
-                        args.machine.procs,
-                        args.machine.latency_ms,
-                        args.machine.bandwidth_mbs,
-                        if args.no_outage { " --no-outage" } else { "" }
-                    )
-                    .to_ascii_lowercase();
-                    let (app_s, var_s) = (app.to_string(), variant.to_string());
-                    let run = match run_app(app, &cfg, variant, &machine) {
-                        Ok(run) => run,
-                        Err(e) => {
-                            println!(
-                                "{app_s:<8} {var_s:<12} {intensity:>9} {seed:>6} {:>14} \
-                                 {:>7} {:>8} {:>8}  FAILED: {e}",
-                                "-", "-", "-", "-"
-                            );
-                            failures.push(format!(
-                                "{app}/{variant} intensity {intensity} seed {seed}: {e}\n    \
-                                 reproduce: {repro_cmd}"
-                            ));
-                            continue;
-                        }
-                    };
-                    let err = (run.checksum - expected).abs()
-                        / expected.abs().max(run.checksum.abs()).max(1e-30);
-                    let mut problems: Vec<String> = Vec::new();
-                    if err > tol {
-                        problems.push(format!(
-                            "checksum {} drifted from serial {expected}",
-                            run.checksum
-                        ));
-                    }
-                    if args.repro {
-                        match run_app(app, &cfg, variant, &machine) {
-                            Ok(replay) => {
-                                if replay.elapsed != run.elapsed
-                                    || replay.checksum != run.checksum
-                                    || replay.faults_injected != run.faults_injected
-                                    || replay.transport != run.transport
-                                {
-                                    problems.push(format!(
-                                        "seed {seed} did not replay identically \
-                                         ({} vs {}, {} vs {} faults)",
-                                        replay.elapsed,
-                                        run.elapsed,
-                                        replay.faults_injected,
-                                        run.faults_injected
-                                    ));
-                                }
-                            }
-                            Err(e) => problems.push(format!("replay failed: {e}")),
-                        }
-                    }
-                    let stats = run.transport.unwrap_or_default();
-                    let verdict = if problems.is_empty() { "ok" } else { "FAILED" };
-                    println!(
-                        "{app_s:<8} {var_s:<12} {intensity:>9} {seed:>6} {:>14} {:>7} \
-                         {:>8} {:>7.1}%  {verdict}",
-                        run.elapsed.to_string(),
-                        run.faults_injected,
-                        stats.retransmits,
-                        stats.goodput() * 100.0
-                    );
-                    for problem in problems {
-                        failures.push(format!(
-                            "{app}/{variant} intensity {intensity} seed {seed}: {problem}\n    \
-                             reproduce: {repro_cmd}"
-                        ));
-                    }
+                    cells.push(SoakCell {
+                        app,
+                        variant,
+                        intensity,
+                        seed: base_seed + k,
+                        clean: *clean,
+                    });
                 }
+            }
+        }
+    }
+    let outcomes = engine::run_cells(&cells, jobs, Some("soak"), |_, cell| {
+        let idx = apps
+            .iter()
+            .position(|&a| a == cell.app)
+            .expect("app listed");
+        run_soak_cell(args, &cfg, &base_spec, expected[idx], cell)
+    });
+    // Render the table and collect failures in canonical cell order.
+    let mut failures: Vec<String> = Vec::new();
+    let mut ran = 0u64;
+    let per_pair = args.intensities.len() * args.seeds as usize;
+    let mut at = 0usize;
+    for (&(app, variant), probe) in pairs.iter().zip(&probes) {
+        match probe {
+            Err(e) => {
+                println!(
+                    "{:<8} {:<12} fault-free probe failed: {e}",
+                    app.to_string(),
+                    variant.to_string()
+                );
+                failures.push(format!("{app}/{variant}: fault-free probe failed: {e}"));
+            }
+            Ok(_) => {
+                for (line, cell_failures) in &outcomes[at..at + per_pair] {
+                    ran += 1;
+                    println!("{line}");
+                    failures.extend(cell_failures.iter().cloned());
+                }
+                at += per_pair;
             }
         }
     }
@@ -1176,6 +1436,63 @@ mod tests {
         assert!(parse(&["run", "--app", "asp", "--latency", "abc"]).is_err());
         assert!(parse(&["frobnicate"]).is_err());
         assert!(parse(&["run", "--app", "asp", "--wat", "1"]).is_err());
+    }
+
+    #[test]
+    fn parses_bench() {
+        match parse(&["bench"]).unwrap() {
+            Command::Bench(args) => {
+                assert_eq!(args.target, "all");
+                assert_eq!(args.jobs, None, "worker count resolved at run time");
+                assert_eq!(args.scale, None, "scale falls back to REPRO_SCALE");
+                assert!(!args.quick);
+                assert!(args.compare.is_none());
+                assert!((args.threshold - 1.5).abs() < 1e-12);
+                assert!(!args.virtual_only);
+            }
+            other => panic!("expected bench, got {other:?}"),
+        }
+        match parse(&[
+            "bench", "--target", "fig3", "--jobs", "4", "--scale", "small", "--quick", "--out",
+            "/tmp/x",
+        ])
+        .unwrap()
+        {
+            Command::Bench(args) => {
+                assert_eq!(args.target, "fig3");
+                assert_eq!(args.jobs, Some(4));
+                assert_eq!(args.scale, Some(Scale::Small));
+                assert!(args.quick);
+                assert_eq!(args.out.as_deref(), Some("/tmp/x"));
+            }
+            other => panic!("expected bench, got {other:?}"),
+        }
+        match parse(&[
+            "bench",
+            "--compare",
+            "old.json",
+            "new.json",
+            "--threshold",
+            "2.0",
+            "--virtual-only",
+        ])
+        .unwrap()
+        {
+            Command::Bench(args) => {
+                assert_eq!(
+                    args.compare,
+                    Some(("old.json".to_string(), "new.json".to_string()))
+                );
+                assert!((args.threshold - 2.0).abs() < 1e-12);
+                assert!(args.virtual_only);
+            }
+            other => panic!("expected bench, got {other:?}"),
+        }
+        assert!(parse(&["bench", "--target", "fig9"]).is_err());
+        assert!(parse(&["bench", "--jobs", "0"]).is_err());
+        assert!(parse(&["bench", "--threshold", "1.0"]).is_err());
+        assert!(parse(&["bench", "--threshold", "nan"]).is_err());
+        assert!(parse(&["bench", "--compare", "only-one.json"]).is_err());
     }
 
     #[test]

@@ -299,6 +299,15 @@ impl<T> RunReport<T> {
     }
 }
 
+// The benchmark engine (`numagap-bench`) shares one `Machine` across its
+// worker threads by reference; this fails to compile if a future field ever
+// costs `Machine` (or its reports) thread-safety.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Machine>();
+    assert_send_sync::<RunReport<u64>>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -44,7 +44,11 @@ pub struct ProcStats {
 }
 
 /// Whole-run accounting collected by the kernel.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Deterministic for a given program and spec: the benchmark pipeline
+/// records these per experiment cell and compares them exactly across
+/// runs, so the struct is `Copy + Eq` on purpose.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct KernelStats {
     /// Total events processed.
     pub events: u64,
