@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 
 use numagap_net::NetStats;
 use numagap_rt::{Machine, RunReport, TransportStats};
-use numagap_sim::{KernelStats, SimDuration, SimError};
+use numagap_sim::{KernelStats, Observer, SimDuration, SimError};
 
 use crate::asp::{asp_rank, matrix_checksum, serial_asp, AspConfig};
 use crate::awari::{awari_rank, serial_awari, AwariConfig};
@@ -204,6 +204,40 @@ fn summarize(app: AppId, variant: Variant, report: RunReport<RankOutput>) -> App
     }
 }
 
+/// Runs one application on one machine and returns the machine's full
+/// [`RunReport`], optionally with a kernel [`Observer`] installed — the hook
+/// the sanitizer, the trace writer, and the performance model use to watch a
+/// run without perturbing it.
+///
+/// # Errors
+///
+/// Propagates simulator failures (deadlock, time limit, process panic).
+pub fn run_app_report(
+    app: AppId,
+    cfg: &SuiteConfig,
+    variant: Variant,
+    machine: &Machine,
+    observer: Option<Box<dyn Observer>>,
+) -> Result<RunReport<RankOutput>, SimError> {
+    macro_rules! launch {
+        ($field:ident, $rank:path) => {{
+            let c = cfg.$field.clone();
+            match observer {
+                Some(obs) => machine.run_observed(move |ctx| $rank(ctx, &c, variant), obs),
+                None => machine.run(move |ctx| $rank(ctx, &c, variant)),
+            }
+        }};
+    }
+    match app {
+        AppId::Water => launch!(water, water_rank),
+        AppId::Barnes => launch!(barnes, barnes_rank),
+        AppId::Tsp => launch!(tsp, tsp_rank),
+        AppId::Asp => launch!(asp, asp_rank),
+        AppId::Awari => launch!(awari, awari_rank),
+        AppId::Fft => launch!(fft, fft_rank),
+    }
+}
+
 /// Runs one application on one machine.
 ///
 /// # Errors
@@ -215,32 +249,24 @@ pub fn run_app(
     variant: Variant,
     machine: &Machine,
 ) -> Result<AppRun, SimError> {
-    let report = match app {
-        AppId::Water => {
-            let c = cfg.water.clone();
-            machine.run(move |ctx| water_rank(ctx, &c, variant))?
-        }
-        AppId::Barnes => {
-            let c = cfg.barnes.clone();
-            machine.run(move |ctx| barnes_rank(ctx, &c, variant))?
-        }
-        AppId::Tsp => {
-            let c = cfg.tsp.clone();
-            machine.run(move |ctx| tsp_rank(ctx, &c, variant))?
-        }
-        AppId::Asp => {
-            let c = cfg.asp.clone();
-            machine.run(move |ctx| asp_rank(ctx, &c, variant))?
-        }
-        AppId::Awari => {
-            let c = cfg.awari.clone();
-            machine.run(move |ctx| awari_rank(ctx, &c, variant))?
-        }
-        AppId::Fft => {
-            let c = cfg.fft.clone();
-            machine.run(move |ctx| fft_rank(ctx, &c, variant))?
-        }
-    };
+    let report = run_app_report(app, cfg, variant, machine, None)?;
+    Ok(summarize(app, variant, report))
+}
+
+/// Like [`run_app`], but with a kernel [`Observer`] attached for the whole
+/// run. The observer sees every communication event in deterministic order.
+///
+/// # Errors
+///
+/// Propagates simulator failures (deadlock, time limit, process panic).
+pub fn run_app_observed(
+    app: AppId,
+    cfg: &SuiteConfig,
+    variant: Variant,
+    machine: &Machine,
+    observer: Box<dyn Observer>,
+) -> Result<AppRun, SimError> {
+    let report = run_app_report(app, cfg, variant, machine, Some(observer))?;
     Ok(summarize(app, variant, report))
 }
 

@@ -374,6 +374,55 @@ mod tests {
     }
 
     #[test]
+    fn control_characters_round_trip() {
+        // Every C0 control character must escape to an ASCII form and
+        // parse back to itself.
+        let all: String = (0u32..0x20).map(|c| char::from_u32(c).unwrap()).collect();
+        let doc = format!("\"{}\"", escape(&all));
+        assert!(doc.is_ascii(), "escaped form must stay ASCII: {doc}");
+        assert_eq!(parse(&doc).unwrap().as_str(), Some(all.as_str()));
+    }
+
+    #[test]
+    fn non_ascii_strings_round_trip() {
+        for s in [
+            "帯域幅と遅延",               // CJK
+            "Δλ/Δβ ≤ 0.6",                // Greek + math
+            "café naïve",                 // combining-free Latin-1
+            "🚀✓\u{1F600}",               // astral-plane emoji
+            "mixed ascii + 한국어 + \\n", // literal backslash-n, not a newline
+        ] {
+            let doc = format!("\"{}\"", escape(s));
+            assert_eq!(parse(&doc).unwrap().as_str(), Some(s), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn extreme_numbers_round_trip() {
+        let big = (1u64 << 53) as f64;
+        for x in [
+            big,
+            -big,
+            -1.0,
+            -123456.789012345,
+            1e-300,
+            -2.5e300,
+            f64::MAX,
+            f64::MIN,
+        ] {
+            let doc = format!("{x}");
+            assert_eq!(parse(&doc).unwrap().as_f64(), Some(x), "{doc}");
+        }
+        // Exponent spellings normalise to the same value.
+        for (doc, want) in [("1e3", 1000.0), ("1E+3", 1000.0), ("-25e-1", -2.5)] {
+            assert_eq!(parse(doc).unwrap().as_f64(), Some(want), "{doc}");
+        }
+        // Negative or fractional numbers are not integers.
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
+    }
+
+    #[test]
     fn rejects_garbage() {
         for bad in ["", "{", "[1,", "nul", "\"", "{\"a\" 1}", "1 2", "{'a':1}"] {
             assert!(parse(bad).is_err(), "{bad:?} must not parse");

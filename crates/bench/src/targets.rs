@@ -92,7 +92,7 @@ pub fn run_target(name: &str, opts: &SweepOpts) -> Result<BenchSummary, BenchErr
 }
 
 /// The variants the paper reports for an app (FFT has no optimized one).
-fn variants(app: AppId) -> &'static [Variant] {
+pub fn variants(app: AppId) -> &'static [Variant] {
     if app.has_optimized() {
         &[Variant::Unoptimized, Variant::Optimized]
     } else {
@@ -110,7 +110,9 @@ fn surviving_variant(app: AppId) -> Variant {
 }
 
 /// The Figure 3/4 grid: the paper's full 7x6, or the coarse quick one.
-fn paper_grid(quick: bool) -> (Vec<f64>, Vec<f64>) {
+/// Shared with `numagap-model`'s predict sweep so predicted and simulated
+/// curves cover identical (latency, bandwidth) points.
+pub fn paper_grid(quick: bool) -> (Vec<f64>, Vec<f64>) {
     if quick {
         (vec![0.5, 10.0, 300.0], vec![6.3, 0.3, 0.03])
     } else {

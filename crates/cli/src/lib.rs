@@ -27,11 +27,13 @@ use std::fmt;
 
 use numagap_analysis::{check_rank_lints, Analysis, Diagnostic, DiagnosticKind};
 use numagap_apps::{
-    checksum_tolerance, run_app, serial_checksum, AppId, Scale, SuiteConfig, Variant,
+    checksum_tolerance, run_app, run_app_report, serial_checksum, AppId, Scale, SuiteConfig,
+    Variant,
 };
 use numagap_bench::engine;
 use numagap_bench::record::{compare, BenchSummary, CompareOpts};
 use numagap_bench::targets::{run_target, SweepOpts, TARGETS};
+use numagap_model::{run_predict, PredictOpts};
 use numagap_net::{das_spec, numa_gap, FaultPlan, TwoLayerSpec};
 use numagap_rt::{Machine, TransportConfig};
 use numagap_sim::{SimDuration, SimTime};
@@ -57,6 +59,9 @@ pub enum Command {
     /// Run experiment targets through the parallel engine, or compare two
     /// `BENCH_*.json` summaries.
     Bench(BenchArgs),
+    /// Predict fig3-style sensitivity analytically from a recorded
+    /// communication DAG, optionally validating against the simulator.
+    Predict(PredictArgs),
     /// Describe the machine.
     Info(MachineArgs),
     /// Build a real Awari endgame database.
@@ -255,6 +260,32 @@ pub struct BenchArgs {
     pub virtual_only: bool,
 }
 
+/// Flags of the `predict` command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictArgs {
+    /// Applications to model (the full suite when empty).
+    pub apps: Vec<AppId>,
+    /// Restrict to one variant (the paper's variants per app when unset).
+    pub variant: Option<Variant>,
+    /// Problem scale (`REPRO_SCALE`, default medium, when unset).
+    pub scale: Option<Scale>,
+    /// Use the coarse quick grid (`REPRO_QUICK=1` also enables this).
+    pub quick: bool,
+    /// Worker threads (`REPRO_JOBS` / available parallelism when unset).
+    pub jobs: Option<usize>,
+    /// Output directory (`REPRO_OUT` / `bench_results` when unset).
+    pub out: Option<String>,
+    /// WAN latency (ms) of the reference recording point.
+    pub ref_latency: f64,
+    /// WAN bandwidth (MByte/s) of the reference recording point.
+    pub ref_bandwidth: f64,
+    /// Re-simulate every grid point and report model error.
+    pub validate: bool,
+    /// Mean relative error bar (percent, per app/variant) for `--validate`
+    /// findings.
+    pub max_error: f64,
+}
+
 /// A parse failure with a user-facing message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError(pub String);
@@ -362,6 +393,10 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
     let mut compare_paths = None;
     let mut threshold = 1.5f64;
     let mut virtual_only = false;
+    let mut ref_latency = 10.0f64;
+    let mut ref_bandwidth = 0.3f64;
+    let mut validate = false;
+    let mut max_error = 10.0f64;
     while let Some(flag) = it.next() {
         match flag {
             "--app" => apps.push(parse_app(take_value(flag, &mut it)?)?),
@@ -435,6 +470,31 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                 }
             }
             "--virtual-only" => virtual_only = true,
+            "--ref-latency" => {
+                ref_latency = parse_num(flag, take_value(flag, &mut it)?)?;
+                if !ref_latency.is_finite() || ref_latency < 0.0 {
+                    return Err(ParseError(format!(
+                        "--ref-latency must be a non-negative number of ms, got {ref_latency}"
+                    )));
+                }
+            }
+            "--ref-bandwidth" => {
+                ref_bandwidth = parse_num(flag, take_value(flag, &mut it)?)?;
+                if !ref_bandwidth.is_finite() || ref_bandwidth <= 0.0 {
+                    return Err(ParseError(format!(
+                        "--ref-bandwidth must be a positive number of MByte/s, got {ref_bandwidth}"
+                    )));
+                }
+            }
+            "--validate" => validate = true,
+            "--max-error" => {
+                max_error = parse_num(flag, take_value(flag, &mut it)?)?;
+                if !max_error.is_finite() || max_error <= 0.0 {
+                    return Err(ParseError(format!(
+                        "--max-error must be a positive percentage, got {max_error}"
+                    )));
+                }
+            }
             other => return Err(ParseError(format!("unknown flag '{other}'"))),
         }
     }
@@ -496,6 +556,18 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             threshold,
             virtual_only,
         })),
+        "predict" => Ok(Command::Predict(PredictArgs {
+            apps,
+            variant,
+            scale,
+            quick,
+            jobs,
+            out,
+            ref_latency,
+            ref_bandwidth,
+            validate,
+            max_error,
+        })),
         "info" => Ok(Command::Info(machine)),
         "awari-db" => Ok(Command::AwariDb { stones, machine }),
         other => Err(ParseError(format!("unknown command '{other}'"))),
@@ -514,6 +586,7 @@ USAGE:
   numagap soak  [--app <name> ...] [SOAK OPTIONS] [MACHINE OPTIONS]
   numagap bench [--target <name>] [BENCH OPTIONS]
   numagap bench --compare <OLD.json> <NEW.json> [--threshold <F>] [--virtual-only]
+  numagap predict [--app <name> ...] [--validate] [PREDICT OPTIONS]
   numagap info  [MACHINE OPTIONS]
   numagap help
 
@@ -568,6 +641,26 @@ BENCH OPTIONS:
                              beyond --threshold [default: 1.5] are findings
   --virtual-only             compare deterministic fields only (baselines
                              recorded on different hardware)
+
+PREDICT OPTIONS:
+  --app <name>               model only these apps, repeatable [default: all]
+  --variant <unopt|opt>      model only this variant  [default: the paper's]
+  --scale <small|medium|paper>  problem size           [default: medium]
+  --quick                    coarse fig3 grid (same as REPRO_QUICK=1)
+  --jobs <N>                 worker threads [default: REPRO_JOBS, else cores]
+  --out <dir>                artifact directory [default: REPRO_OUT, else
+                             bench_results/]
+  --ref-latency <ms>         WAN latency of the one recorded run [default: 10]
+  --ref-bandwidth <MB/s>     WAN bandwidth of that run         [default: 0.3]
+  --validate                 re-simulate every grid point; report model error
+  --max-error <pct>          mean relative error bar per app/variant under
+                             --validate [default: 10]
+  Records each app's communication DAG once on the fig3 machine (4x8) at
+  the reference point, then re-costs it analytically across the fig3
+  latency/bandwidth grid. Writes PREDICT_fig3.json (plus, under
+  --validate, BENCH_predict-sim.json in the bench summary schema); both
+  are byte-identical for any --jobs value. Exceeding --max-error or a
+  tolerable-gap disagreement is a finding (exit 1).
 
 CHECK:
   Runs each selected app under the communication sanitizer and reports
@@ -781,6 +874,7 @@ pub fn execute(cmd: Command) -> i32 {
         }
         Command::Soak(args) => execute_soak(&args),
         Command::Bench(args) => execute_bench(&args),
+        Command::Predict(args) => execute_predict(&args),
         Command::Run(args) => {
             let cfg = SuiteConfig::at(args.scale);
             let mut machine = args.machine.machine();
@@ -1200,71 +1294,8 @@ pub fn check_app(
     variant: Variant,
     machine: &Machine,
 ) -> (Vec<Diagnostic>, Option<String>) {
-    use numagap_apps::asp::asp_rank;
-    use numagap_apps::awari::awari_rank;
-    use numagap_apps::barnes::barnes_rank;
-    use numagap_apps::fft::fft_rank;
-    use numagap_apps::tsp::tsp_rank;
-    use numagap_apps::water::water_rank;
-
     let analysis = Analysis::new(machine.spec().topology.nprocs());
-    let observer = analysis.observer();
-    let result = match app {
-        AppId::Water => {
-            let c = cfg.water.clone();
-            machine.run_observed(
-                move |ctx| {
-                    water_rank(ctx, &c, variant);
-                },
-                observer,
-            )
-        }
-        AppId::Barnes => {
-            let c = cfg.barnes.clone();
-            machine.run_observed(
-                move |ctx| {
-                    barnes_rank(ctx, &c, variant);
-                },
-                observer,
-            )
-        }
-        AppId::Tsp => {
-            let c = cfg.tsp.clone();
-            machine.run_observed(
-                move |ctx| {
-                    tsp_rank(ctx, &c, variant);
-                },
-                observer,
-            )
-        }
-        AppId::Asp => {
-            let c = cfg.asp.clone();
-            machine.run_observed(
-                move |ctx| {
-                    asp_rank(ctx, &c, variant);
-                },
-                observer,
-            )
-        }
-        AppId::Awari => {
-            let c = cfg.awari.clone();
-            machine.run_observed(
-                move |ctx| {
-                    awari_rank(ctx, &c, variant);
-                },
-                observer,
-            )
-        }
-        AppId::Fft => {
-            let c = cfg.fft.clone();
-            machine.run_observed(
-                move |ctx| {
-                    fft_rank(ctx, &c, variant);
-                },
-                observer,
-            )
-        }
-    };
+    let result = run_app_report(app, cfg, variant, machine, Some(analysis.observer()));
     let mut diags = analysis.diagnostics();
     match result {
         Ok(report) => {
@@ -1338,40 +1369,119 @@ fn trace_run(
     variant: Variant,
     machine: &Machine,
 ) -> Result<String, numagap_sim::SimError> {
-    use numagap_apps::asp::asp_rank;
-    use numagap_apps::awari::awari_rank;
-    use numagap_apps::barnes::barnes_rank;
-    use numagap_apps::fft::fft_rank;
-    use numagap_apps::tsp::tsp_rank;
-    use numagap_apps::water::water_rank;
     let machine = machine.clone().with_tracing();
-    let report = match app {
-        AppId::Water => {
-            let c = cfg.water.clone();
-            machine.run(move |ctx| water_rank(ctx, &c, variant))?
+    let report = run_app_report(app, cfg, variant, &machine, None)?;
+    Ok(report.trace.expect("tracing was enabled").to_chrome_json())
+}
+
+/// Formats an optional tolerable-gap threshold for the summary table.
+fn show_gap(v: Option<f64>) -> String {
+    v.map_or_else(|| "none".to_string(), |x| format!("{x}"))
+}
+
+/// Executes the `predict` command: records one observed run per app/variant
+/// at the reference point, re-costs the recorded DAG across the fig3 grid,
+/// and writes `PREDICT_fig3.json` (plus the simulated summary under
+/// `--validate`).
+pub fn execute_predict(args: &PredictArgs) -> i32 {
+    let out = match &args.out {
+        Some(dir) => {
+            let path = std::path::PathBuf::from(dir);
+            if let Err(e) = std::fs::create_dir_all(&path) {
+                eprintln!("predict: cannot create output directory {dir}: {e}");
+                return EXIT_ERROR;
+            }
+            path
         }
-        AppId::Barnes => {
-            let c = cfg.barnes.clone();
-            machine.run(move |ctx| barnes_rank(ctx, &c, variant))?
-        }
-        AppId::Tsp => {
-            let c = cfg.tsp.clone();
-            machine.run(move |ctx| tsp_rank(ctx, &c, variant))?
-        }
-        AppId::Asp => {
-            let c = cfg.asp.clone();
-            machine.run(move |ctx| asp_rank(ctx, &c, variant))?
-        }
-        AppId::Awari => {
-            let c = cfg.awari.clone();
-            machine.run(move |ctx| awari_rank(ctx, &c, variant))?
-        }
-        AppId::Fft => {
-            let c = cfg.fft.clone();
-            machine.run(move |ctx| fft_rank(ctx, &c, variant))?
+        None => match numagap_bench::out_dir() {
+            Ok(path) => path,
+            Err(e) => {
+                eprintln!("predict: cannot create output directory: {e}");
+                return EXIT_ERROR;
+            }
+        },
+    };
+    let opts = PredictOpts {
+        apps: args.apps.clone(),
+        variant: args.variant,
+        scale: args.scale.unwrap_or_else(numagap_bench::scale_from_env),
+        quick: args.quick || numagap_bench::quick_from_env(),
+        jobs: args.jobs.unwrap_or_else(engine::jobs_from_env),
+        ref_latency_ms: args.ref_latency,
+        ref_bandwidth_mbs: args.ref_bandwidth,
+        validate: args.validate,
+        max_error_pct: args.max_error,
+        progress: true,
+    };
+    let report = match run_predict(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("predict: {e}");
+            return EXIT_ERROR;
         }
     };
-    Ok(report.trace.expect("tracing was enabled").to_chrome_json())
+    println!(
+        "predicted fig3 sensitivity from one recorded run per app at \
+         {} ms / {} MB/s ({} grid, {} scale)",
+        report.ref_latency_ms,
+        report.ref_bandwidth_mbs,
+        if report.quick { "quick" } else { "full" },
+        report.scale,
+    );
+    for a in &report.apps {
+        let pct = |d: numagap_sim::SimDuration| {
+            if a.path.total.is_zero() {
+                0.0
+            } else {
+                100.0 * d.as_secs_f64() / a.path.total.as_secs_f64()
+            }
+        };
+        println!(
+            "  {}/{}: recorded {}, critical path {:.0}% compute, {:.0}% wide-area \
+             ({} inter-cluster msgs)",
+            a.app,
+            a.variant,
+            a.recorded,
+            pct(a.path.compute),
+            pct(a.path.inter_total()),
+            a.path.path_inter_msgs,
+        );
+        print!(
+            "    tolerable gap (predicted): latency <= {} ms, bandwidth >= {} MB/s",
+            show_gap(a.predicted_gap.latency_ms),
+            show_gap(a.predicted_gap.bandwidth_mbs),
+        );
+        match (a.mean_rel_err_pct, a.max_rel_err_pct) {
+            (Some(mean), Some(max)) => {
+                println!("; model error mean {mean:.2}% max {max:.2}%");
+            }
+            _ => println!(),
+        }
+    }
+    let path = out.join("PREDICT_fig3.json");
+    if let Err(e) = report.write(&path) {
+        eprintln!("predict: cannot write {}: {e}", path.display());
+        return EXIT_ERROR;
+    }
+    println!("wrote {}", path.display());
+    if let Some(summary) = report.sim_summary() {
+        let sim_path = out.join("BENCH_predict-sim.json");
+        if let Err(e) = summary.write(&sim_path) {
+            eprintln!("predict: cannot write {}: {e}", sim_path.display());
+            return EXIT_ERROR;
+        }
+        println!("wrote {}", sim_path.display());
+    }
+    if report.findings.is_empty() {
+        println!("predict: clean");
+        0
+    } else {
+        for finding in &report.findings {
+            println!("  FINDING: {finding}");
+        }
+        println!("predict: {} finding(s)", report.findings.len());
+        EXIT_FINDINGS
+    }
 }
 
 #[cfg(test)]
@@ -1812,6 +1922,96 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(execute(cmd), EXIT_ERROR);
+    }
+
+    #[test]
+    fn parses_predict() {
+        match parse(&["predict"]).unwrap() {
+            Command::Predict(args) => {
+                assert!(args.apps.is_empty(), "all apps by default");
+                assert_eq!(args.variant, None, "both variants by default");
+                assert_eq!(args.scale, None, "scale falls back to REPRO_SCALE");
+                assert!(!args.quick);
+                assert_eq!(args.jobs, None, "worker count resolved at run time");
+                assert_eq!(args.out, None);
+                assert!((args.ref_latency - 10.0).abs() < 1e-12);
+                assert!((args.ref_bandwidth - 0.3).abs() < 1e-12);
+                assert!(!args.validate);
+                assert!((args.max_error - 10.0).abs() < 1e-12);
+            }
+            other => panic!("expected predict, got {other:?}"),
+        }
+        match parse(&[
+            "predict",
+            "--app",
+            "water",
+            "--app",
+            "tsp",
+            "--variant",
+            "unopt",
+            "--quick",
+            "--validate",
+            "--ref-latency",
+            "0.5",
+            "--ref-bandwidth",
+            "6.3",
+            "--max-error",
+            "5",
+            "--jobs",
+            "2",
+            "--out",
+            "/tmp/p",
+        ])
+        .unwrap()
+        {
+            Command::Predict(args) => {
+                assert_eq!(args.apps, vec![AppId::Water, AppId::Tsp]);
+                assert_eq!(args.variant, Some(Variant::Unoptimized));
+                assert!(args.quick);
+                assert!(args.validate);
+                assert!((args.ref_latency - 0.5).abs() < 1e-12);
+                assert!((args.ref_bandwidth - 6.3).abs() < 1e-12);
+                assert!((args.max_error - 5.0).abs() < 1e-12);
+                assert_eq!(args.jobs, Some(2));
+                assert_eq!(args.out.as_deref(), Some("/tmp/p"));
+            }
+            other => panic!("expected predict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_predict_flags() {
+        assert!(parse(&["predict", "--app", "chess"]).is_err());
+        assert!(parse(&["predict", "--max-error", "0"]).is_err());
+        assert!(parse(&["predict", "--max-error", "nan"]).is_err());
+        assert!(parse(&["predict", "--ref-bandwidth", "0"]).is_err());
+        assert!(parse(&["predict", "--ref-latency", "-1"]).is_err());
+        assert!(parse(&["predict", "--jobs", "0"]).is_err());
+    }
+
+    #[test]
+    fn predict_executes_end_to_end() {
+        // FFT's communication is data-independent, so the validated quick
+        // grid predicts it exactly and the command must exit clean.
+        let out = std::env::temp_dir().join(format!("numagap-predict-test-{}", std::process::id()));
+        let cmd = parse(&[
+            "predict",
+            "--app",
+            "fft",
+            "--quick",
+            "--scale",
+            "small",
+            "--jobs",
+            "2",
+            "--validate",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(execute(cmd), 0);
+        assert!(out.join("PREDICT_fig3.json").is_file());
+        assert!(out.join("BENCH_predict-sim.json").is_file());
+        let _ = std::fs::remove_dir_all(&out);
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! Recording a run's communication dependency DAG through the kernel
+//! [`Observer`] hook.
+//!
+//! The recorder freezes each rank's behaviour into a linear list of
+//! [`Op`]s on its virtual-time line — compute segments, message hand-offs,
+//! and message consumptions — plus one [`MsgMeta`] per kernel message
+//! sequence number. Together with the spec the run executed under, that is
+//! exactly the information the replay engine needs to re-cost the run under
+//! a different interconnect: control flow (who sends what to whom, in what
+//! order) is frozen at the recording point, while every timing quantity is
+//! re-derived.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use numagap_apps::{run_app_observed, AppId, AppRun, SuiteConfig, Variant};
+use numagap_net::TwoLayerSpec;
+use numagap_rt::Machine;
+use numagap_sim::{Message, Observer, ProcId, SimDuration, SimError, SimTime};
+
+/// One recorded operation on a rank's virtual-time line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// One `compute` call of the given duration. Independent of the
+    /// interconnect. Zero-duration computes are kept: each call consumes a
+    /// kernel scheduling slot, and the replay engine mirrors the kernel's
+    /// event sequencing slot for slot so same-instant network contention
+    /// resolves identically.
+    Compute(SimDuration),
+    /// Handed message `seq` to the network. Costs the sender the send
+    /// software overhead; the message's flight is re-derived at replay.
+    Send {
+        /// Kernel-global message sequence number.
+        seq: u64,
+    },
+    /// Consumed message `seq`, blocking until its arrival when necessary,
+    /// then paying the receive software overhead.
+    Recv {
+        /// Kernel-global message sequence number.
+        seq: u64,
+    },
+}
+
+/// Metadata of one recorded message, indexed by kernel sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgMeta {
+    /// Sending process.
+    pub src: ProcId,
+    /// Destination process.
+    pub dst: ProcId,
+    /// Declared payload size on the wire, headers excluded (what the kernel
+    /// passes to `Network::transfer`).
+    pub wire_bytes: u64,
+}
+
+/// A recorded communication dependency DAG: per-rank op lists plus message
+/// metadata, with the spec and makespan of the recording run.
+#[derive(Debug, Clone)]
+pub struct CommDag {
+    /// Per-rank operation lists, in each rank's program order.
+    pub ops: Vec<Vec<Op>>,
+    /// Message metadata, indexed by the kernel's dense sequence number.
+    pub msgs: Vec<MsgMeta>,
+    /// The interconnect spec the recording ran under.
+    pub base_spec: TwoLayerSpec,
+    /// The recording run's virtual makespan (for identity checks).
+    pub base_elapsed: SimDuration,
+}
+
+impl CommDag {
+    /// Number of ranks in the recorded run.
+    pub fn nprocs(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether message `seq` crosses a cluster boundary under the recorded
+    /// topology.
+    pub fn is_inter(&self, seq: u64) -> bool {
+        let m = &self.msgs[seq as usize];
+        self.base_spec.topology.cluster_of(m.src) != self.base_spec.topology.cluster_of(m.dst)
+    }
+
+    /// Total recorded operations across all ranks.
+    pub fn total_ops(&self) -> usize {
+        self.ops.iter().map(Vec::len).sum()
+    }
+}
+
+#[derive(Debug)]
+struct RecState {
+    ops: Vec<Vec<Op>>,
+    msgs: Vec<MsgMeta>,
+}
+
+/// Records a [`CommDag`] from one observed run.
+///
+/// Attach via [`DagRecorder::observer`]; after the run completes, call
+/// [`DagRecorder::finish`] to take the DAG. The recorder assumes a
+/// fault-free network (every sent message either arrives or is never
+/// consumed) and must observe the run from its beginning so the kernel's
+/// message sequence numbers stay dense.
+#[derive(Debug)]
+pub struct DagRecorder {
+    state: Arc<Mutex<RecState>>,
+}
+
+impl DagRecorder {
+    /// A recorder for a machine with `nprocs` ranks.
+    pub fn new(nprocs: usize) -> Self {
+        DagRecorder {
+            state: Arc::new(Mutex::new(RecState {
+                ops: vec![Vec::new(); nprocs],
+                msgs: Vec::new(),
+            })),
+        }
+    }
+
+    /// The kernel-side observer half. Install it with
+    /// `Machine::run_observed` (or `run_app_observed`).
+    pub fn observer(&self) -> Box<dyn Observer> {
+        Box::new(DagObserver {
+            state: Arc::clone(&self.state),
+        })
+    }
+
+    /// Consumes the recorder and returns the recorded DAG, annotated with
+    /// the spec and makespan of the recording run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shared state is poisoned (an observer callback
+    /// panicked mid-run).
+    pub fn finish(self, base_spec: TwoLayerSpec, base_elapsed: SimDuration) -> CommDag {
+        let state = Arc::try_unwrap(self.state)
+            .map(|m| m.into_inner().expect("recorder state poisoned"))
+            .unwrap_or_else(|arc| {
+                let s: MutexGuard<'_, RecState> = arc.lock().expect("recorder state poisoned");
+                RecState {
+                    ops: s.ops.clone(),
+                    msgs: s.msgs.clone(),
+                }
+            });
+        CommDag {
+            ops: state.ops,
+            msgs: state.msgs,
+            base_spec,
+            base_elapsed,
+        }
+    }
+}
+
+struct DagObserver {
+    state: Arc<Mutex<RecState>>,
+}
+
+impl Observer for DagObserver {
+    fn on_compute(&mut self, p: ProcId, start: SimTime, end: SimTime) {
+        // One op per `compute` call, zero-duration included — the op count
+        // must match the kernel's scheduling-slot count exactly for the
+        // replay's event ordering to reproduce the recording.
+        let mut s = self.state.lock().expect("recorder state poisoned");
+        s.ops[p.0].push(Op::Compute(end.since(start)));
+    }
+
+    fn on_send(&mut self, dst: ProcId, msg: &Message) {
+        let mut s = self.state.lock().expect("recorder state poisoned");
+        assert_eq!(
+            msg.seq as usize,
+            s.msgs.len(),
+            "DAG recorder requires dense message sequence numbers \
+             (observe the run from its start)"
+        );
+        s.msgs.push(MsgMeta {
+            src: msg.src,
+            dst,
+            wire_bytes: msg.wire_bytes,
+        });
+        let op = Op::Send { seq: msg.seq };
+        s.ops[msg.src.0].push(op);
+    }
+
+    fn on_recv_matched(&mut self, p: ProcId, msg: &Message, _now: SimTime) {
+        // The match instant already includes blocking (if any) plus the
+        // receive overhead; both are re-derived at replay, so only the
+        // dependency edge is recorded. Missed `try_recv` polls cost no
+        // virtual time and leave no op behind.
+        let mut s = self.state.lock().expect("recorder state poisoned");
+        let op = Op::Recv { seq: msg.seq };
+        s.ops[p.0].push(op);
+    }
+}
+
+/// Runs one application with a [`DagRecorder`] attached and returns both the
+/// run's measurements and the recorded DAG.
+///
+/// # Errors
+///
+/// Propagates simulator failures (deadlock, time limit, process panic).
+pub fn record_app(
+    app: AppId,
+    cfg: &SuiteConfig,
+    variant: Variant,
+    machine: &Machine,
+) -> Result<(AppRun, CommDag), SimError> {
+    let recorder = DagRecorder::new(machine.spec().topology.nprocs());
+    let run = run_app_observed(app, cfg, variant, machine, recorder.observer())?;
+    let dag = recorder.finish(machine.spec().clone(), run.elapsed);
+    Ok((run, dag))
+}

@@ -1,0 +1,182 @@
+//! Re-costs a recorded [`CommDag`] under an arbitrary interconnect spec.
+//!
+//! The replay is a miniature deterministic event loop that mirrors the
+//! kernel's scheduling rules *exactly*: one rank runs at a time, a rank
+//! keeps running through sends and already-arrived receives, and it yields
+//! only on `compute` and on receives whose message is still in flight.
+//! Event-queue sequence numbers are consumed in the same pattern as the
+//! kernel (one per compute wake, one per message delivery), so same-instant
+//! ties resolve identically and a replay at the recording spec reproduces
+//! the recorded run bit for bit. A fresh [`TwoLayerNetwork`] built from the
+//! what-if spec serves as the cost oracle, so link serialization, gateway
+//! occupancy, and WAN contention are all re-derived under the new
+//! parameters rather than scaled from the recording.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use numagap_net::{TwoLayerNetwork, TwoLayerSpec};
+use numagap_sim::{Network, SimDuration, SimTime};
+
+use crate::dag::{CommDag, Op};
+
+/// The timing of one replayed run: everything the critical-path walk needs.
+#[derive(Debug, Clone)]
+pub struct Replay {
+    /// Virtual makespan (latest rank finish).
+    pub elapsed: SimDuration,
+    /// Per-rank finish instants.
+    pub finish: Vec<SimTime>,
+    /// Per-rank, per-op end instants (`op_end[p][i]` is when op `i` of rank
+    /// `p` completed; an op's start is the previous op's end, or zero).
+    pub op_end: Vec<Vec<SimTime>>,
+    /// Per-message send instants, indexed by sequence number.
+    pub sent_at: Vec<SimTime>,
+    /// Per-message arrival instants, indexed by sequence number.
+    pub arrival: Vec<SimTime>,
+}
+
+/// Replays `dag` under `spec` and returns the re-derived timing.
+///
+/// Control flow is frozen at the recording point: each rank performs exactly
+/// its recorded ops, in order, with compute segments carried over verbatim
+/// and all communication costs recomputed by a fresh network model.
+///
+/// # Panics
+///
+/// Panics if the DAG is malformed (a recorded receive whose producer never
+/// sends, which a complete fault-free recording cannot produce), or if the
+/// what-if spec's topology disagrees with the recorded rank count.
+pub fn replay(dag: &CommDag, spec: &TwoLayerSpec) -> Replay {
+    let n = dag.nprocs();
+    assert_eq!(
+        spec.topology.nprocs(),
+        n,
+        "what-if spec must keep the recorded machine shape"
+    );
+    let mut net = TwoLayerNetwork::new(spec.clone());
+    let nmsgs = dag.msgs.len();
+
+    let mut clock = vec![SimTime::ZERO; n];
+    let mut pc = vec![0usize; n];
+    let mut op_end: Vec<Vec<SimTime>> = dag
+        .ops
+        .iter()
+        .map(|ops| Vec::with_capacity(ops.len()))
+        .collect();
+    let mut sent_at = vec![SimTime::ZERO; nmsgs];
+    let mut arrival: Vec<Option<SimTime>> = vec![None; nmsgs];
+    // The event-queue sequence number the kernel gave each message's
+    // delivery, assigned when its send executes.
+    let mut deliver_seq = vec![0u64; nmsgs];
+    // A rank blocked on a not-yet-sent message parks here (at most one rank
+    // per message: the kernel matched each message to exactly one receive).
+    let mut parked: Vec<Option<usize>> = vec![None; nmsgs];
+    let mut finish = vec![SimTime::ZERO; n];
+
+    // Event heap keyed by (time, sequence). The sequence counter advances in
+    // the same pattern as the kernel's — initial wakes, then one per compute
+    // and one per send — so ties at equal times break identically and the
+    // stateful network model sees transfers in the same order.
+    let mut heap: BinaryHeap<Reverse<(SimTime, u64, usize)>> = BinaryHeap::new();
+    let mut evseq = 0u64;
+    for p in 0..n {
+        heap.push(Reverse((SimTime::ZERO, evseq, p)));
+        evseq += 1;
+    }
+
+    while let Some(Reverse((slot_time, slot_seq, p))) = heap.pop() {
+        // Service rank `p` until it suspends (compute, undelivered recv) or
+        // finishes — the same one-runner-at-a-time discipline as the kernel.
+        loop {
+            let Some(&op) = dag.ops[p].get(pc[p]) else {
+                finish[p] = clock[p];
+                break;
+            };
+            match op {
+                Op::Compute(d) => {
+                    clock[p] += d;
+                    op_end[p].push(clock[p]);
+                    pc[p] += 1;
+                    heap.push(Reverse((clock[p], evseq, p)));
+                    evseq += 1;
+                    break;
+                }
+                Op::Send { seq } => {
+                    let m = dag.msgs[seq as usize];
+                    let t = net.transfer(m.src, m.dst, m.wire_bytes, clock[p]);
+                    sent_at[seq as usize] = clock[p];
+                    arrival[seq as usize] = Some(t.arrival);
+                    deliver_seq[seq as usize] = evseq;
+                    evseq += 1;
+                    clock[p] = t.sender_free;
+                    op_end[p].push(clock[p]);
+                    pc[p] += 1;
+                    if let Some(w) = parked[seq as usize].take() {
+                        heap.push(Reverse((t.arrival, deliver_seq[seq as usize], w)));
+                    }
+                }
+                Op::Recv { seq } => match arrival[seq as usize] {
+                    Some(a) => {
+                        let dseq = deliver_seq[seq as usize];
+                        if (a, dseq) > (slot_time, slot_seq) {
+                            // The message is in the kernel's mailbox only
+                            // once its delivery event has fired — which is
+                            // ordered by (arrival, delivery seq), not by
+                            // this rank's clock (a rank running ahead
+                            // inline can pass the arrival instant without
+                            // the delivery having been processed). The
+                            // kernel blocks here and resumes inside the
+                            // delivery event, so every earlier event — and
+                            // its network transfer — happens first.
+                            heap.push(Reverse((a, dseq, p)));
+                            break;
+                        }
+                        let o = net.recv_overhead(dag.msgs[seq as usize].wire_bytes);
+                        clock[p] = clock[p].max(a) + o;
+                        op_end[p].push(clock[p]);
+                        pc[p] += 1;
+                    }
+                    None => {
+                        parked[seq as usize] = Some(p);
+                        break;
+                    }
+                },
+            }
+        }
+    }
+
+    for (p, ops) in dag.ops.iter().enumerate() {
+        assert_eq!(
+            pc[p],
+            ops.len(),
+            "rank {p} stalled at op {} of {} — malformed DAG",
+            pc[p],
+            ops.len()
+        );
+    }
+
+    let elapsed = finish
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(SimTime::ZERO)
+        .since(SimTime::ZERO);
+    let arrival = arrival
+        .into_iter()
+        .enumerate()
+        .map(|(seq, a)| a.unwrap_or(sent_at[seq]))
+        .collect();
+    Replay {
+        elapsed,
+        finish,
+        op_end,
+        sent_at,
+        arrival,
+    }
+}
+
+/// Convenience: replay and return only the predicted makespan.
+pub fn predict_elapsed(dag: &CommDag, spec: &TwoLayerSpec) -> SimDuration {
+    replay(dag, spec).elapsed
+}

@@ -1,0 +1,48 @@
+//! The predict pipeline must be a pure function of its inputs: the same
+//! selection produces a byte-identical JSON report no matter how the work
+//! is sharded across worker threads.
+
+use numagap_apps::{AppId, Scale, Variant};
+use numagap_model::{run_predict, PredictOpts};
+
+fn opts(jobs: usize, validate: bool) -> PredictOpts {
+    PredictOpts {
+        apps: vec![AppId::Fft, AppId::Asp],
+        variant: Some(Variant::Unoptimized),
+        scale: Scale::Small,
+        quick: true,
+        jobs,
+        ref_latency_ms: 10.0,
+        ref_bandwidth_mbs: 0.3,
+        validate,
+        max_error_pct: 10.0,
+        progress: false,
+    }
+}
+
+#[test]
+fn predict_report_is_byte_identical_across_job_counts() {
+    let a = run_predict(&opts(1, false))
+        .expect("predict runs")
+        .to_json();
+    let b = run_predict(&opts(4, false))
+        .expect("predict runs")
+        .to_json();
+    assert_eq!(a, b, "report must not depend on worker count");
+}
+
+#[test]
+fn validated_report_is_byte_identical_across_repeat_runs() {
+    let a = run_predict(&opts(2, true)).expect("predict runs");
+    let b = run_predict(&opts(2, true)).expect("predict runs");
+    assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "repeat runs must agree byte for byte"
+    );
+    assert_eq!(
+        a.sim_summary().map(|s| s.to_json()),
+        b.sim_summary().map(|s| s.to_json()),
+        "validation records must agree byte for byte"
+    );
+}

@@ -460,6 +460,9 @@ impl<N: Network> Kernel<N> {
                     if let Some(trace) = self.trace.as_mut() {
                         trace.compute(p, start, wake_at);
                     }
+                    if let Some(obs) = self.observer.as_mut() {
+                        obs.on_compute(p, start, wake_at);
+                    }
                     self.schedule(wake_at, EventKind::Wake(p));
                     return Ok(());
                 }
@@ -498,6 +501,7 @@ impl<N: Network> Kernel<N> {
                     };
                     if let Some(obs) = self.observer.as_mut() {
                         obs.on_send(dst, &msg);
+                        obs.on_sender_free(p, msg_seq, transfer.sender_free);
                     }
                     if self.net.faults_enabled() {
                         let disposition = self

@@ -29,6 +29,24 @@ pub trait Observer: Send {
         let _ = (dst, msg);
     }
 
+    /// Message `seq`'s sender got its CPU back at virtual time `at` (send
+    /// software overhead fully charged). Fires immediately after the
+    /// message's [`Observer::on_send`]; reported separately because the
+    /// sender-free instant is network-model state the [`Message`] itself
+    /// does not carry, and recorders (e.g. the `numagap-model` DAG
+    /// recorder) need it to close the sender's compute segment exactly.
+    fn on_sender_free(&mut self, src: ProcId, seq: u64, at: SimTime) {
+        let _ = (src, seq, at);
+    }
+
+    /// Process `p` finished a `compute` call spanning `[start, end]` in
+    /// virtual time. Fires once per call — zero-duration computes included,
+    /// because each one still costs a kernel scheduling slot, and replay
+    /// tools that mirror the kernel's event order need the exact count.
+    fn on_compute(&mut self, p: ProcId, start: SimTime, end: SimTime) {
+        let _ = (p, start, end);
+    }
+
     /// Process `p` posted a receive with `filter` at virtual time `now`.
     /// `blocking` distinguishes `recv` from `try_recv` polls.
     fn on_recv_posted(&mut self, p: ProcId, filter: &Filter, blocking: bool, now: SimTime) {

@@ -11,6 +11,8 @@
 //! * [`apps`] — the six paper applications, unoptimized and optimized
 //! * [`analysis`] — the communication sanitizer (races, lost messages,
 //!   deadlock wait-for diagnosis, protocol lints)
+//! * [`model`] — critical-path performance model (recorded communication
+//!   DAG, what-if re-costing, fig3-style sensitivity prediction)
 
 #![warn(missing_docs)]
 
@@ -18,6 +20,7 @@ pub use numagap_analysis as analysis;
 pub use numagap_apps as apps;
 pub use numagap_collectives as collectives;
 pub use numagap_dsm as dsm;
+pub use numagap_model as model;
 pub use numagap_net as net;
 pub use numagap_rt as rt;
 pub use numagap_sim as sim;
