@@ -40,6 +40,7 @@ use numagap_sim::SimDuration;
 pub mod engine;
 pub mod json;
 pub mod record;
+pub mod selfperf;
 pub mod targets;
 
 /// The machine size used throughout the paper's main experiments.

@@ -20,7 +20,7 @@ use std::fs;
 use std::path::Path;
 
 use numagap_apps::AppRun;
-use numagap_sim::KernelStats;
+use numagap_sim::{HotProfile, KernelStats};
 
 use crate::json::{self, Json};
 
@@ -51,6 +51,12 @@ pub struct RunRecord {
     pub inter_bytes: u64,
     /// Fault-plan seed the cell ran under, if any.
     pub seed: Option<u64>,
+    /// Kernel hot-path self-profile; recorded only by the `selfperf` target
+    /// (`None` keeps the figure/table artifacts byte-identical to their
+    /// pre-profile baselines). All fields but `park_wakes` are deterministic
+    /// and compared exactly; `park_wakes` varies with host timing like
+    /// `wall_s`.
+    pub profile: Option<HotProfile>,
 }
 
 impl RunRecord {
@@ -67,7 +73,17 @@ impl RunRecord {
             inter_msgs: run.net.inter_msgs,
             inter_bytes: run.net.inter_payload_bytes,
             seed: run.seed,
+            profile: None,
         }
+    }
+}
+
+/// `profile` with every host-timing-dependent field (`park_wakes`) zeroed:
+/// the subset [`compare`] may check exactly.
+fn deterministic_profile(p: &HotProfile) -> HotProfile {
+    HotProfile {
+        park_wakes: 0,
+        ..*p
     }
 }
 
@@ -124,13 +140,36 @@ impl BenchSummary {
                 Some(s) => s.to_string(),
                 None => "null".to_string(),
             };
+            // The profile block is additive: records without one serialize
+            // exactly as they did before the field existed, so committed
+            // figure/table baselines remain byte-identical.
+            let profile = match &r.profile {
+                None => String::new(),
+                Some(p) => format!(
+                    ", \"switches\": {}, \"requests\": {}, \"park_wakes\": {}, \
+                     \"heap_pushes\": {}, \"heap_pops\": {}, \"front_pops\": {}, \
+                     \"queue_peak\": {}, \"mailbox_scanned\": {}, \"mailbox_indexed\": {}, \
+                     \"mailbox_fast\": {}, \"bytes_cloned\": {}",
+                    p.switches,
+                    p.requests,
+                    p.park_wakes,
+                    p.heap_pushes,
+                    p.heap_pops,
+                    p.front_pops,
+                    p.queue_peak,
+                    p.mailbox_scanned,
+                    p.mailbox_indexed,
+                    p.mailbox_fast,
+                    p.bytes_cloned,
+                ),
+            };
             let _ = write!(
                 out,
                 "\n    {{\"key\": \"{}\", \"wall_s\": {}, \"virtual_s\": {}, \
                  \"checksum\": {}, \"events\": {}, \"messages\": {}, \"bytes\": {}, \
                  \"intra_msgs\": {}, \"intra_bytes\": {}, \"inter_msgs\": {}, \
                  \"inter_bytes\": {}, \"faults_dropped\": {}, \"faults_duplicated\": {}, \
-                 \"faults_delayed\": {}, \"seed\": {}}}{}",
+                 \"faults_delayed\": {}, \"seed\": {}{}}}{}",
                 json::escape(&r.key),
                 r.wall_s,
                 r.virtual_s,
@@ -146,6 +185,7 @@ impl BenchSummary {
                 r.kernel.faults_duplicated,
                 r.kernel.faults_delayed,
                 seed,
+                profile,
                 sep,
             );
         }
@@ -253,6 +293,23 @@ fn record_from_json(r: &Json) -> Result<RunRecord, String> {
             None | Some(Json::Null) => None,
             Some(v) => Some(v.as_u64().ok_or("non-integer 'seed'")?),
         },
+        // Pre-profile records simply lack these keys.
+        profile: match r.get("switches") {
+            None => None,
+            Some(_) => Some(HotProfile {
+                switches: field_u64(r, "switches")?,
+                requests: field_u64(r, "requests")?,
+                park_wakes: field_u64(r, "park_wakes")?,
+                heap_pushes: field_u64(r, "heap_pushes")?,
+                heap_pops: field_u64(r, "heap_pops")?,
+                front_pops: field_u64(r, "front_pops")?,
+                queue_peak: field_u64(r, "queue_peak")?,
+                mailbox_scanned: field_u64(r, "mailbox_scanned")?,
+                mailbox_indexed: field_u64(r, "mailbox_indexed")?,
+                mailbox_fast: field_u64(r, "mailbox_fast")?,
+                bytes_cloned: field_u64(r, "bytes_cloned")?,
+            }),
+        },
     })
 }
 
@@ -355,6 +412,27 @@ pub fn compare(old: &BenchSummary, new: &BenchSummary, opts: &CompareOpts) -> Co
                 n.inter_msgs
             ));
         }
+        // Profile counters: deterministic except `park_wakes`, which is
+        // host-timing-dependent and judged like wall clock (not at all in
+        // exact mode). A baseline without a profile ignores the candidate's.
+        if let (Some(po), Some(pn)) = (&o.profile, &n.profile) {
+            if deterministic_profile(pn) != deterministic_profile(po) {
+                rep.findings.push(format!(
+                    "cell '{}': hot-path profile drifted (switches {} -> {}, \
+                     heap_pushes {} -> {}, mailbox_scanned {} -> {}, \
+                     bytes_cloned {} -> {})",
+                    o.key,
+                    po.switches,
+                    pn.switches,
+                    po.heap_pushes,
+                    pn.heap_pushes,
+                    po.mailbox_scanned,
+                    pn.mailbox_scanned,
+                    po.bytes_cloned,
+                    pn.bytes_cloned
+                ));
+            }
+        }
         // Wall clock: only cells big enough to time meaningfully.
         if opts.wall_clock && o.wall_s >= 0.010 && n.wall_s > o.wall_s * opts.threshold {
             rep.findings.push(format!(
@@ -415,6 +493,26 @@ mod tests {
             inter_msgs: 10,
             inter_bytes: 1096,
             seed: None,
+            profile: None,
+        }
+    }
+
+    fn profiled(key: &str) -> RunRecord {
+        RunRecord {
+            profile: Some(HotProfile {
+                switches: 500,
+                requests: 510,
+                park_wakes: 7,
+                heap_pushes: 120,
+                heap_pops: 120,
+                front_pops: 380,
+                queue_peak: 9,
+                mailbox_scanned: 44,
+                mailbox_indexed: 33,
+                mailbox_fast: 200,
+                bytes_cloned: 8192,
+            }),
+            ..record(key, 0.1, 2.0)
         }
     }
 
@@ -437,6 +535,39 @@ mod tests {
         s.records[1].kernel.faults_dropped = 3;
         let parsed = BenchSummary::from_json(&s.to_json()).unwrap();
         assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn profile_round_trips_and_absence_keeps_old_shape() {
+        let s = summary(vec![profiled("p"), record("q", 0.1, 2.0)]);
+        let text = s.to_json();
+        assert!(text.contains("\"bytes_cloned\": 8192"), "{text}");
+        let parsed = BenchSummary::from_json(&text).unwrap();
+        assert_eq!(parsed, s);
+        // A record without a profile serializes without any profile keys, so
+        // pre-profile baselines stay byte-identical.
+        let plain = summary(vec![record("q", 0.1, 2.0)]).to_json();
+        assert!(!plain.contains("switches"), "{plain}");
+    }
+
+    #[test]
+    fn profile_drift_is_a_finding_but_park_wakes_is_exempt() {
+        let old = summary(vec![profiled("p")]);
+        // Host-timing noise: park_wakes may move freely.
+        let mut new = old.clone();
+        new.records[0].profile.as_mut().unwrap().park_wakes = 9999;
+        let rep = compare(&old, &new, &CompareOpts::default());
+        assert!(rep.is_clean(), "{:?}", rep.findings);
+        // A deterministic counter moving is a finding.
+        new.records[0].profile.as_mut().unwrap().mailbox_scanned += 1;
+        let rep = compare(&old, &new, &CompareOpts::default());
+        assert_eq!(rep.findings.len(), 1, "{:?}", rep.findings);
+        assert!(rep.findings[0].contains("hot-path profile drifted"));
+        // A baseline recorded before profiles existed ignores them.
+        let mut unprofiled = old.clone();
+        unprofiled.records[0].profile = None;
+        let rep = compare(&unprofiled, &new, &CompareOpts::default());
+        assert!(rep.is_clean(), "{:?}", rep.findings);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! numagap soak [--app X ...] [machine flags]  # fault-injection sweeps
 //! numagap bench [--target T] [--jobs N]  # parallel experiment engine
 //! numagap bench --compare OLD NEW        # diff two BENCH_*.json summaries
+//! numagap selfperf [--quick] [--jobs N]  # profile the simulator hot path
 //! numagap info [machine flags]           # print the machine and its gap
 //! numagap help
 //! ```
@@ -62,6 +63,9 @@ pub enum Command {
     /// Predict fig3-style sensitivity analytically from a recorded
     /// communication DAG, optionally validating against the simulator.
     Predict(PredictArgs),
+    /// Profile the simulator's own hot path (handoff, event queue, mailbox,
+    /// payload sharing) with synthetic micro-benchmarks.
+    Selfperf(SelfperfArgs),
     /// Describe the machine.
     Info(MachineArgs),
     /// Build a real Awari endgame database.
@@ -258,6 +262,18 @@ pub struct BenchArgs {
     /// In `--compare`, check only deterministic fields (for baselines
     /// recorded on different hardware).
     pub virtual_only: bool,
+}
+
+/// Flags of the `selfperf` command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelfperfArgs {
+    /// Worker threads (`REPRO_JOBS` / available parallelism when unset).
+    pub jobs: Option<usize>,
+    /// Use the coarse quick cells (`REPRO_QUICK=1` also enables this) — the
+    /// grid the committed CI baseline is recorded at.
+    pub quick: bool,
+    /// Output directory (`REPRO_OUT` / `bench_results` when unset).
+    pub out: Option<String>,
 }
 
 /// Flags of the `predict` command.
@@ -556,6 +572,7 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             threshold,
             virtual_only,
         })),
+        "selfperf" => Ok(Command::Selfperf(SelfperfArgs { jobs, quick, out })),
         "predict" => Ok(Command::Predict(PredictArgs {
             apps,
             variant,
@@ -586,6 +603,7 @@ USAGE:
   numagap soak  [--app <name> ...] [SOAK OPTIONS] [MACHINE OPTIONS]
   numagap bench [--target <name>] [BENCH OPTIONS]
   numagap bench --compare <OLD.json> <NEW.json> [--threshold <F>] [--virtual-only]
+  numagap selfperf [--quick] [--jobs <N>] [--out <dir>]
   numagap predict [--app <name> ...] [--validate] [PREDICT OPTIONS]
   numagap info  [MACHINE OPTIONS]
   numagap help
@@ -641,6 +659,19 @@ BENCH OPTIONS:
                              beyond --threshold [default: 1.5] are findings
   --virtual-only             compare deterministic fields only (baselines
                              recorded on different hardware)
+
+SELFPERF:
+  Profiles the simulator's own hot path with synthetic micro-benchmarks
+  (scheduler handoff ping-pong, zero-copy vs cloned multicast, tag-indexed
+  mailbox draining, event-queue fan-out) and writes selfperf.csv plus
+  BENCH_selfperf.json with the kernel's HotProfile counters per cell.
+  Every counter except park_wakes is deterministic; CI compares the quick
+  grid against crates/bench/baselines/BENCH_selfperf.json with
+  `numagap bench --compare --virtual-only`.
+  --quick                    coarse cells (same as REPRO_QUICK=1)
+  --jobs <N>                 worker threads [default: REPRO_JOBS, else cores]
+  --out <dir>                artifact directory [default: REPRO_OUT, else
+                             bench_results/]
 
 PREDICT OPTIONS:
   --app <name>               model only these apps, repeatable [default: all]
@@ -875,6 +906,7 @@ pub fn execute(cmd: Command) -> i32 {
         Command::Soak(args) => execute_soak(&args),
         Command::Bench(args) => execute_bench(&args),
         Command::Predict(args) => execute_predict(&args),
+        Command::Selfperf(args) => execute_selfperf(&args),
         Command::Run(args) => {
             let cfg = SuiteConfig::at(args.scale);
             let mut machine = args.machine.machine();
@@ -1039,6 +1071,44 @@ pub fn execute_bench(args: &BenchArgs) -> i32 {
             }
         }
         0
+    }
+}
+
+/// Executes the `selfperf` command: the simulator hot-path micro-benchmarks
+/// (see [`numagap_bench::selfperf`]).
+pub fn execute_selfperf(args: &SelfperfArgs) -> i32 {
+    let out = match &args.out {
+        Some(dir) => {
+            let path = std::path::PathBuf::from(dir);
+            if let Err(e) = std::fs::create_dir_all(&path) {
+                eprintln!("selfperf: cannot create output directory {dir}: {e}");
+                return EXIT_ERROR;
+            }
+            path
+        }
+        None => match numagap_bench::out_dir() {
+            Ok(path) => path,
+            Err(e) => {
+                eprintln!("selfperf: cannot create output directory: {e}");
+                return EXIT_ERROR;
+            }
+        },
+    };
+    let opts = SweepOpts {
+        // Synthetic cells have no application problem size; the summary
+        // records scale "synthetic" regardless (see `run_selfperf`).
+        scale: Scale::Small,
+        quick: args.quick || numagap_bench::quick_from_env(),
+        jobs: args.jobs.unwrap_or_else(engine::jobs_from_env),
+        out,
+        progress: true,
+    };
+    match numagap_bench::selfperf::run_selfperf(&opts) {
+        Ok(_) => 0,
+        Err(e) => {
+            eprintln!("selfperf: {e}");
+            EXIT_ERROR
+        }
     }
 }
 

@@ -70,6 +70,9 @@ pub fn bcast_group_payload(
 }
 
 /// Typed binomial broadcast over a rank group. See [`bcast_group_payload`].
+///
+/// Deep-copies the payload out at every member; prefer
+/// [`bcast_group_shared`] when a shared handle is enough.
 pub fn bcast_group<T: Any + Send + Sync + Clone>(
     ctx: &mut Ctx<'_>,
     group: &[usize],
@@ -78,6 +81,22 @@ pub fn bcast_group<T: Any + Send + Sync + Clone>(
     data: Option<T>,
     wire_bytes: u64,
 ) -> T {
+    bcast_group_shared(ctx, group, root_pos, tag, data, wire_bytes)
+        .as_ref()
+        .clone()
+}
+
+/// Zero-copy variant of [`bcast_group`]: every member gets a shared handle
+/// to the *same* payload allocation — the broadcast never deep-copies the
+/// data, no matter how many ranks receive it.
+pub fn bcast_group_shared<T: Any + Send + Sync>(
+    ctx: &mut Ctx<'_>,
+    group: &[usize],
+    root_pos: usize,
+    tag: Tag,
+    data: Option<T>,
+    wire_bytes: u64,
+) -> Arc<T> {
     let payload = bcast_group_payload(
         ctx,
         group,
@@ -87,9 +106,8 @@ pub fn bcast_group<T: Any + Send + Sync + Clone>(
         wire_bytes,
     );
     payload
-        .downcast_ref::<T>()
-        .expect("broadcast payload type mismatch")
-        .clone()
+        .downcast::<T>()
+        .unwrap_or_else(|_| panic!("broadcast payload type mismatch"))
 }
 
 /// Binomial reduce over a rank group with a commutative-associative `op`.
@@ -153,6 +171,18 @@ pub fn bcast_flat<T: Any + Send + Sync + Clone>(
     bcast_group(ctx, &group, root, tag, data, wire_bytes)
 }
 
+/// Zero-copy variant of [`bcast_flat`]; see [`bcast_group_shared`].
+pub fn bcast_flat_shared<T: Any + Send + Sync>(
+    ctx: &mut Ctx<'_>,
+    root: usize,
+    tag: Tag,
+    data: Option<T>,
+    wire_bytes: u64,
+) -> Arc<T> {
+    let group: Vec<usize> = (0..ctx.nprocs()).collect();
+    bcast_group_shared(ctx, &group, root, tag, data, wire_bytes)
+}
+
 /// Flat reduce over all ranks to rank `root`.
 pub fn reduce_flat<T, F>(
     ctx: &mut Ctx<'_>,
@@ -180,6 +210,21 @@ pub fn bcast_aware<T: Any + Send + Sync + Clone>(
     data: Option<T>,
     wire_bytes: u64,
 ) -> T {
+    bcast_aware_shared(ctx, root, tag, data, wire_bytes)
+        .as_ref()
+        .clone()
+}
+
+/// Zero-copy variant of [`bcast_aware`]: one WAN crossing per remote
+/// cluster *and* zero host-side payload copies — every rank on the machine
+/// shares the root's single allocation.
+pub fn bcast_aware_shared<T: Any + Send + Sync>(
+    ctx: &mut Ctx<'_>,
+    root: usize,
+    tag: Tag,
+    data: Option<T>,
+    wire_bytes: u64,
+) -> Arc<T> {
     let topo = ctx.topology().clone();
     let my_cluster = ctx.cluster();
     let root_cluster = topo.cluster_of_rank(root);
@@ -212,9 +257,8 @@ pub fn bcast_aware<T: Any + Send + Sync + Clone>(
         .expect("cluster entry must be a member");
     let payload = bcast_group_payload(ctx, &members, root_pos, tag, payload, forward_bytes);
     payload
-        .downcast_ref::<T>()
-        .expect("broadcast payload type mismatch")
-        .clone()
+        .downcast::<T>()
+        .unwrap_or_else(|_| panic!("broadcast payload type mismatch"))
 }
 
 /// Cluster-aware reduce: each cluster reduces locally to its entry rank, and

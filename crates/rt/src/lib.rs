@@ -40,8 +40,8 @@ mod sync;
 pub mod tags;
 
 pub use coll::{
-    bcast_aware, bcast_flat, bcast_group, bcast_group_payload, reduce_aware, reduce_flat,
-    reduce_group,
+    bcast_aware, bcast_aware_shared, bcast_flat, bcast_flat_shared, bcast_group,
+    bcast_group_payload, bcast_group_shared, reduce_aware, reduce_flat, reduce_group,
 };
 pub use combine::{Addressed, ClusterCombiner, Combiner};
 pub use ctx::Ctx;

@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use numagap_net::{NetStats, TwoLayerNetwork, TwoLayerSpec};
 use numagap_sim::{
-    KernelStats, Observer, ProcStats, Sim, SimDuration, SimError, SimTime, TraceLog,
+    HotProfile, KernelStats, Observer, ProcStats, Sim, SimDuration, SimError, SimTime, TraceLog,
 };
 
 use crate::ctx::Ctx;
@@ -167,6 +167,13 @@ impl Machine {
         let mut rank_lints = Vec::with_capacity(out.results.len());
         let mut transport_stats = Vec::with_capacity(out.results.len());
         for r in out.results {
+            // A rank-level panic no longer aborts the kernel; surface the
+            // first one here as the machine-level error `Machine::run`
+            // documents.
+            let r = r.map_err(|f| SimError::ProcessPanicked {
+                rank: f.rank,
+                message: f.message,
+            })?;
             let (result, lints, tstats) = *r
                 .downcast::<(T, Vec<LintRecord>, Option<TransportStats>)>()
                 .expect("machine entry result type mismatch");
@@ -181,6 +188,7 @@ impl Machine {
             results,
             proc_stats: out.proc_stats,
             kernel_stats: out.kernel_stats,
+            profile: out.profile,
             net_stats,
             trace: out.trace,
             rank_lints,
@@ -201,6 +209,8 @@ pub struct RunReport<T> {
     pub proc_stats: Vec<ProcStats>,
     /// Whole-run kernel accounting.
     pub kernel_stats: KernelStats,
+    /// Kernel hot-path self-profile (see [`HotProfile`]).
+    pub profile: HotProfile,
     /// Traffic statistics from the network model.
     pub net_stats: NetStats,
     /// The execution trace, when the machine was built

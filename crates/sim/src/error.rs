@@ -90,6 +90,26 @@ impl fmt::Display for WaitState {
     }
 }
 
+/// Why a rank failed to produce a result.
+///
+/// Carried in its [`crate::RunOutcome::results`] slot so a mid-run panic
+/// yields a per-rank diagnostic instead of shifting its peers' results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcFailure {
+    /// Rank of the failed process.
+    pub rank: usize,
+    /// Rendered panic payload (or a placeholder for non-string payloads).
+    pub message: String,
+}
+
+impl fmt::Display for ProcFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rank {} panicked: {}", self.rank, self.message)
+    }
+}
+
+impl Error for ProcFailure {}
+
 /// An error that aborted a simulation run.
 #[derive(Debug)]
 pub enum SimError {

@@ -28,14 +28,18 @@
 //!     m.expect_clone::<u64>()
 //! });
 //! let out = sim.run().unwrap();
-//! assert_eq!(*out.results[1].downcast_ref::<u64>().unwrap(), 99);
+//! let answer = out.results[1].as_ref().unwrap();
+//! assert_eq!(*answer.downcast_ref::<u64>().unwrap(), 99);
 //! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod equeue;
 mod error;
+mod handoff;
 mod kernel;
+mod mailbox;
 mod message;
 mod network;
 mod observe;
@@ -43,8 +47,8 @@ mod process;
 mod time;
 mod trace;
 
-pub use error::{format_filter, PendingMessage, SimError, WaitState};
-pub use kernel::{KernelStats, ProcStats, RunOutcome, Sim};
+pub use error::{format_filter, PendingMessage, ProcFailure, SimError, WaitState};
+pub use kernel::{HotProfile, KernelStats, ProcStats, RunOutcome, Sim};
 pub use message::{Filter, Message, Payload, Tag, TagFilter};
 pub use network::{FaultDisposition, FaultEvent, FaultKind, IdealNetwork, Network, Transfer};
 pub use observe::Observer;

@@ -89,6 +89,26 @@ impl fmt::Display for Tag {
 /// every recipient — mirroring how a zero-copy messaging layer behaves.
 pub type Payload = Arc<dyn Any + Send + Sync>;
 
+use std::cell::Cell;
+
+thread_local! {
+    /// Payload bytes deep-copied out of messages on this thread. Each
+    /// simulated process is one OS thread, so the kernel can attribute the
+    /// counter exactly: it is reset when a process starts and harvested
+    /// when it exits, feeding [`crate::HotProfile::bytes_cloned`].
+    static CLONE_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Resets this thread's payload-clone byte counter (kernel use).
+pub(crate) fn reset_clone_bytes() {
+    CLONE_BYTES.with(|c| c.set(0));
+}
+
+/// Reads this thread's payload-clone byte counter (kernel use).
+pub(crate) fn clone_bytes() -> u64 {
+    CLONE_BYTES.with(Cell::get)
+}
+
 /// A delivered message.
 #[derive(Clone)]
 pub struct Message {
@@ -137,11 +157,39 @@ impl Message {
 
     /// Clones the payload out as an owned value.
     ///
+    /// This deep-copies the payload; prefer [`Message::expect_shared`] when
+    /// a shared handle is enough (multicast fan-in, combining relays). The
+    /// copied volume is charged to the receiving process's
+    /// [`crate::HotProfile::bytes_cloned`] counter at the message's declared
+    /// wire size.
+    ///
     /// # Panics
     ///
     /// Panics if the payload has a different type.
     pub fn expect_clone<T: Any + Send + Sync + Clone>(&self) -> T {
-        self.expect_ref::<T>().clone()
+        let v = self.expect_ref::<T>().clone();
+        CLONE_BYTES.with(|c| c.set(c.get().saturating_add(self.wire_bytes)));
+        v
+    }
+
+    /// Takes the payload as a shared, typed handle without copying the
+    /// data — the zero-copy path for multicast and combining consumers.
+    /// When this message holds the last reference (the common unicast
+    /// case), `Arc::try_unwrap` on the result yields the owned value, still
+    /// without a copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload has a different type.
+    pub fn expect_shared<T: Any + Send + Sync>(self) -> Arc<T> {
+        let (tag, src) = (self.tag, self.src);
+        self.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "message payload type mismatch on tag {tag} from rank {}: expected {}",
+                src.0,
+                std::any::type_name::<T>()
+            )
+        })
     }
 }
 

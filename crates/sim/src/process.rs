@@ -3,14 +3,14 @@
 //! Each simulated processor runs as a real OS thread. The kernel grants
 //! control to exactly one process at a time; every simulated operation is a
 //! rendezvous with the kernel, which keeps the whole run deterministic
-//! regardless of host scheduling.
+//! regardless of host scheduling. The rendezvous itself rides on the
+//! one-slot parked handoff in [`crate::handoff`].
 
 use std::any::Any;
 use std::sync::Arc;
 
-use std::sync::mpsc::{Receiver, Sender};
-
-use crate::message::{Filter, Message, Payload, Tag};
+use crate::handoff::Handoff;
+use crate::message::{self, Filter, Message, Payload, Tag};
 use crate::time::{SimDuration, SimTime};
 use crate::ProcId;
 
@@ -29,8 +29,12 @@ pub(crate) enum Request {
     Recv(Filter),
     /// Poll for a matching message without blocking.
     TryRecv(Filter),
-    /// The process finished with this result.
-    Exit(Box<dyn Any + Send>),
+    /// The process finished with this result; `bytes_cloned` carries the
+    /// thread's payload-copy counter for [`crate::HotProfile`].
+    Exit {
+        result: Box<dyn Any + Send>,
+        bytes_cloned: u64,
+    },
 }
 
 /// Kernel replies completing a request.
@@ -48,6 +52,19 @@ pub(crate) enum Grant {
 /// Marker panic payload used to silently unwind a process thread when the
 /// kernel aborts a run. Never observed by user code.
 pub(crate) struct AbortToken;
+
+/// Hangs up the process side of the handoff when dropped. Lives inside
+/// [`ProcCtx`], so it fires on every way a process thread can end: normal
+/// return (after `Exit` is published), a user panic unwinding the entry
+/// function, or an [`AbortToken`] unwind — waking a kernel that would
+/// otherwise park forever waiting for the next request.
+pub(crate) struct HangupGuard(pub(crate) Arc<Handoff>);
+
+impl Drop for HangupGuard {
+    fn drop(&mut self) {
+        self.0.hangup();
+    }
+}
 
 /// Handle through which a simulated process interacts with the virtual world.
 ///
@@ -74,8 +91,8 @@ pub struct ProcCtx {
     pub(crate) id: ProcId,
     pub(crate) nprocs: usize,
     pub(crate) now: SimTime,
-    pub(crate) req_tx: Sender<Request>,
-    pub(crate) grant_rx: Receiver<Grant>,
+    pub(crate) handoff: Arc<Handoff>,
+    pub(crate) _hangup: HangupGuard,
 }
 
 impl std::fmt::Debug for ProcCtx {
@@ -110,13 +127,10 @@ impl ProcCtx {
     }
 
     fn rendezvous(&mut self, req: Request) -> Grant {
-        self.req_tx
-            .send(req)
-            .expect("kernel hung up while process was live");
-        match self.grant_rx.recv() {
-            Ok(Grant::Abort) => std::panic::panic_any(AbortToken),
-            Ok(grant) => grant,
-            Err(_) => std::panic::panic_any(AbortToken),
+        self.handoff.send_request(req);
+        match self.handoff.wait_grant() {
+            Grant::Abort => std::panic::panic_any(AbortToken),
+            grant => grant,
         }
     }
 
@@ -193,9 +207,25 @@ impl ProcCtx {
         (m.src, v)
     }
 
+    /// Convenience: receives a message with `tag` from anyone and takes the
+    /// payload as a shared handle without copying it (the zero-copy path;
+    /// see [`Message::expect_shared`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload type does not match `T` (a protocol bug).
+    pub fn recv_shared<T: Any + Send + Sync>(&mut self, tag: Tag) -> (ProcId, Arc<T>) {
+        let m = self.recv(Filter::tag(tag));
+        let src = m.src;
+        (src, m.expect_shared::<T>())
+    }
+
     pub(crate) fn finish(self, result: Box<dyn Any + Send>) {
-        // Best-effort: if the kernel already tore down, there is nobody to
-        // tell, and that is fine.
-        let _ = self.req_tx.send(Request::Exit(result));
+        self.handoff.send_request(Request::Exit {
+            result,
+            bytes_cloned: message::clone_bytes(),
+        });
+        // `self` drops here; the HangupGuard marks the slot dead so the
+        // kernel's join sees a finished thread, not a silent stall.
     }
 }
