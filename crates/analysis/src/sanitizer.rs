@@ -262,23 +262,37 @@ impl Analysis {
     /// All findings recorded so far (online checks only; see
     /// [`Analysis::diagnose_error`] for post-mortem deadlock findings).
     pub fn diagnostics(&self) -> Vec<Diagnostic> {
-        self.state.lock().unwrap().diags.clone()
+        self.state
+            .lock()
+            .expect("sanitizer state poisoned")
+            .diags
+            .clone()
     }
 
     /// Total findings per kind, including ones beyond the storage cap.
     pub fn counts(&self) -> BTreeMap<DiagnosticKind, usize> {
-        self.state.lock().unwrap().counts.clone()
+        self.state
+            .lock()
+            .expect("sanitizer state poisoned")
+            .counts
+            .clone()
     }
 
     /// Whether the observed run reached a clean finish (`on_finish` fired).
     pub fn run_finished(&self) -> bool {
-        self.state.lock().unwrap().finished
+        self.state
+            .lock()
+            .expect("sanitizer state poisoned")
+            .finished
     }
 
     /// Injected faults attributed to the network's fault plan. All zero on
     /// fault-free runs.
     pub fn fault_counts(&self) -> FaultCounts {
-        self.state.lock().unwrap().fault_counts
+        self.state
+            .lock()
+            .expect("sanitizer state poisoned")
+            .fault_counts
     }
 
     /// Decomposes a run error into diagnostics: the deadlock itself (with
@@ -296,7 +310,7 @@ struct Sanitizer {
 
 impl Observer for Sanitizer {
     fn on_send(&mut self, dst: ProcId, msg: &Message) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock().expect("sanitizer state poisoned");
         let st = &mut *st;
         let src = msg.src.0;
 
@@ -407,7 +421,7 @@ impl Observer for Sanitizer {
     }
 
     fn on_fault(&mut self, event: &FaultEvent) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock().expect("sanitizer state poisoned");
         let st = &mut *st;
         match event.kind {
             FaultKind::Drop => {
@@ -430,12 +444,12 @@ impl Observer for Sanitizer {
     }
 
     fn on_recv_posted(&mut self, p: ProcId, filter: &Filter, _blocking: bool, _now: SimTime) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock().expect("sanitizer state poisoned");
         st.pending[p.0] = Some(filter.clone());
     }
 
     fn on_recv_matched(&mut self, p: ProcId, msg: &Message, now: SimTime) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock().expect("sanitizer state poisoned");
         let st = &mut *st;
         let recvr = p.0;
         let filter = st.pending[recvr].clone();
@@ -444,7 +458,7 @@ impl Observer for Sanitizer {
 
         let wildcard = !is_transport_msg(msg) && filter.as_ref().is_some_and(|f| f.src.is_none());
         if wildcard {
-            let filter = filter.as_ref().unwrap();
+            let filter = filter.as_ref().expect("wildcard implies a pending filter");
             if let Some(mclock) = msg_clock.as_ref() {
                 // At-match race direction: another in-flight message from a
                 // different sender also matches the filter and is causally
@@ -497,7 +511,7 @@ impl Observer for Sanitizer {
             let recv_clock = st.clocks[recvr].clone();
             st.wildcards.push_back(WildcardMatch {
                 receiver: recvr,
-                filter: filter.unwrap(),
+                filter: filter.expect("wildcard implies a pending filter"),
                 matched_src: msg.src.0,
                 matched_seq: msg.seq,
                 at: now,
@@ -510,7 +524,7 @@ impl Observer for Sanitizer {
     }
 
     fn on_finish(&mut self, _now: SimTime) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock().expect("sanitizer state poisoned");
         let st = &mut *st;
         st.finished = true;
         let leftovers: Vec<(u64, usize, usize, Tag, u64, bool, SimTime)> = st

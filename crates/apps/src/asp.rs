@@ -195,7 +195,10 @@ fn tree_relations(ctx: &Ctx<'_>, owner: usize, variant: Variant) -> (Option<usiz
                 topo.cluster_root(my_cluster)
             };
             let members = topo.members(my_cluster).to_vec();
-            let entry_pos = members.iter().position(|&r| r == entry).unwrap();
+            let entry_pos = members
+                .iter()
+                .position(|&r| r == entry)
+                .expect("entry rank is a member of its cluster");
             let (mut parent, mut children) = binomial_relations(&members, entry_pos, me);
             if me == owner {
                 // The global root additionally feeds every remote cluster.

@@ -406,7 +406,9 @@ fn relay_forward_edges(ctx: &mut Ctx<'_>, msg: &numagap_sim::Message, data_tag: 
     let mut dsts: Vec<usize> = per_dst.keys().copied().collect();
     dsts.sort_unstable();
     for dst in dsts {
-        let batch = per_dst.remove(&dst).unwrap();
+        let batch = per_dst
+            .remove(&dst)
+            .expect("dst key was just collected from per_dst");
         let bytes = batch.len() as u64 * EDGE_ITEM_BYTES;
         ctx.send(dst, data_tag, batch, bytes);
     }
@@ -421,7 +423,9 @@ fn relay_forward_values(ctx: &mut Ctx<'_>, msg: &numagap_sim::Message, data_tag:
     let mut dsts: Vec<usize> = per_dst.keys().copied().collect();
     dsts.sort_unstable();
     for dst in dsts {
-        let batch = per_dst.remove(&dst).unwrap();
+        let batch = per_dst
+            .remove(&dst)
+            .expect("dst key was just collected from per_dst");
         let bytes = batch.len() as u64 * VALUE_ITEM_BYTES;
         ctx.send(dst, data_tag, batch, bytes);
     }

@@ -587,7 +587,11 @@ pub fn barnes_rank(ctx: &mut Ctx<'_>, cfg: &BarnesConfig, variant: Variant) -> R
                 continue;
             }
             let mut out = Vec::new();
-            walk_nodes += tree.essential_for(&reg.unwrap(), cfg.theta, &mut out);
+            walk_nodes += tree.essential_for(
+                &reg.expect("exchange delivered every remote region"),
+                cfg.theta,
+                &mut out,
+            );
             exports.push((q, out));
         }
         ctx.compute_ns(walk_nodes as f64 * cfg.node_ns);

@@ -257,7 +257,7 @@ pub fn generate_jobs(dist: &[Vec<u32>], prefix_depth: usize) -> Vec<Job> {
             });
             return;
         }
-        let at = *path.last().unwrap() as usize;
+        let at = *path.last().expect("search paths always start at city 0") as usize;
         for c in 1..n as u8 {
             if !path.contains(&c) {
                 path.push(c);
@@ -287,7 +287,7 @@ pub fn serial_tsp(cfg: &TspConfig) -> (u32, u64) {
                     .filter(|&j| j != i)
                     .map(|j| dist[i][j])
                     .min()
-                    .unwrap()
+                    .expect("row has at least one off-diagonal entry")
             })
             .collect(),
         cutoff,
@@ -317,7 +317,7 @@ impl SerialSearcher<'_> {
     fn dfs(&mut self, path: &mut Vec<u8>, visited: u32, len: u32) {
         self.nodes += 1;
         let n = self.dist.len();
-        let at = *path.last().unwrap() as usize;
+        let at = *path.last().expect("search paths always start at city 0") as usize;
         if path.len() == n {
             let total = len + self.dist[at][0];
             if total < self.best {

@@ -287,7 +287,10 @@ impl Parser<'_> {
                     // Consume one UTF-8 character (input is a valid &str).
                     let rest = std::str::from_utf8(&self.b[self.i..])
                         .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().unwrap();
+                    let c = rest
+                        .chars()
+                        .next()
+                        .expect("non-empty input: a byte was just peeked");
                     out.push(c);
                     self.i += c.len_utf8();
                 }

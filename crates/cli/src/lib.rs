@@ -5,7 +5,8 @@
 //!             --latency 10 --bandwidth 1.0 [--scale medium] [--verify] \
 //!             [--jitter 0.2] [--trace out.json]
 //! numagap suite [machine flags]          # all six apps, both variants
-//! numagap check [--app X] [machine flags]  # communication sanitizer
+//! numagap check [--app X] [--perturb] [machine flags]  # communication sanitizer
+//! numagap audit [--root DIR] [--rules]   # determinism static analysis
 //! numagap soak [--app X ...] [machine flags]  # fault-injection sweeps
 //! numagap bench [--target T] [--jobs N]  # parallel experiment engine
 //! numagap bench --compare OLD NEW        # diff two BENCH_*.json summaries
@@ -37,7 +38,7 @@ use numagap_bench::targets::{run_target, SweepOpts, TARGETS};
 use numagap_model::{run_predict, PredictOpts};
 use numagap_net::{das_spec, numa_gap, FaultPlan, TwoLayerSpec};
 use numagap_rt::{Machine, TransportConfig};
-use numagap_sim::{SimDuration, SimTime};
+use numagap_sim::{SimDuration, SimTime, TieBreak};
 
 /// Exit code: the command ran to completion but found failures — sanitizer
 /// diagnostics, checksum mismatches, or failing soak cells.
@@ -55,6 +56,8 @@ pub enum Command {
     Suite(MachineArgs),
     /// Run the communication sanitizer over applications.
     Check(CheckArgs),
+    /// Run the determinism static-analysis pass over the workspace sources.
+    Audit(AuditArgs),
     /// Sweep applications across fault intensities and seeds.
     Soak(SoakArgs),
     /// Run experiment targets through the parallel engine, or compare two
@@ -209,6 +212,18 @@ pub struct CheckArgs {
     pub scale: Scale,
     /// Machine shape.
     pub machine: MachineArgs,
+    /// Re-run every selected app/variant under adversarial event-tiebreak
+    /// orders and report any cell whose makespan or checksum moves.
+    pub perturb: bool,
+}
+
+/// Flags of the `audit` command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditArgs {
+    /// Workspace root to scan (the current directory when unset).
+    pub root: Option<String>,
+    /// Print the rule catalog instead of scanning.
+    pub rules: bool,
 }
 
 /// Flags of the `soak` command.
@@ -413,6 +428,9 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
     let mut ref_bandwidth = 0.3f64;
     let mut validate = false;
     let mut max_error = 10.0f64;
+    let mut perturb = false;
+    let mut audit_root = None;
+    let mut rules = false;
     while let Some(flag) = it.next() {
         match flag {
             "--app" => apps.push(parse_app(take_value(flag, &mut it)?)?),
@@ -503,6 +521,9 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                 }
             }
             "--validate" => validate = true,
+            "--perturb" => perturb = true,
+            "--root" => audit_root = Some(take_value(flag, &mut it)?.to_string()),
+            "--rules" => rules = true,
             "--max-error" => {
                 max_error = parse_num(flag, take_value(flag, &mut it)?)?;
                 if !max_error.is_finite() || max_error <= 0.0 {
@@ -549,6 +570,11 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             variant,
             scale: scale.unwrap_or(Scale::Small),
             machine,
+            perturb,
+        })),
+        "audit" => Ok(Command::Audit(AuditArgs {
+            root: audit_root,
+            rules,
         })),
         "soak" => Ok(Command::Soak(SoakArgs {
             apps,
@@ -599,7 +625,8 @@ USAGE:
   numagap run --app <water|barnes|tsp|asp|awari|fft> [OPTIONS]
   numagap awari-db [--stones <N>] [MACHINE OPTIONS]
   numagap suite [MACHINE OPTIONS]
-  numagap check [--app <name>] [--variant <unopt|opt>] [MACHINE OPTIONS]
+  numagap check [--app <name>] [--variant <unopt|opt>] [--perturb] [MACHINE OPTIONS]
+  numagap audit [--root <dir>] [--rules]
   numagap soak  [--app <name> ...] [SOAK OPTIONS] [MACHINE OPTIONS]
   numagap bench [--target <name>] [BENCH OPTIONS]
   numagap bench --compare <OLD.json> <NEW.json> [--threshold <F>] [--virtual-only]
@@ -697,6 +724,23 @@ CHECK:
   Runs each selected app under the communication sanitizer and reports
   message races, lost messages, deadlock cycles and protocol lints.
   Defaults to all six apps, both variants, small scale.
+  --perturb                  additionally re-run each selected app/variant
+                             under adversarial event-tiebreak orders
+                             (reversed and seeded-shuffled). The kernel books
+                             same-instant transfers in canonical order, so
+                             makespan and checksum must be bit-identical; any
+                             cell that moves is a finding (exit 1).
+
+AUDIT:
+  Token-level determinism static analysis over the workspace's library
+  sources (crates/*/src): hash-ordered containers in simulation state,
+  wall-clock reads, unseeded RNGs, thread::sleep, order-sensitive float
+  reductions, narrowing time casts, bare unwraps (rules ND001..ND007;
+  --rules prints the catalog with rationale). Comments, strings, and
+  #[cfg(test)] blocks never fire. Accepted sites carry an entry in the
+  built-in waiver table; unwaived findings and stale waivers exit 1.
+  --root <dir>               workspace root to scan    [default: .]
+  --rules                    print the rule catalog and exit
 
 EXIT CODES:
   0  clean
@@ -859,7 +903,16 @@ pub fn execute(cmd: Command) -> i32 {
                 },
                 machine.spec().topology.label()
             );
+            // The detector's adversarial orders: a deterministic worst case
+            // (every same-instant tie reversed) and a seeded shuffle. The
+            // kernel books same-instant transfers canonically, so results
+            // must be bit-identical under every policy.
+            let adversarial = [
+                ("reversed", TieBreak::Reversed),
+                ("shuffled(0x5EED)", TieBreak::Shuffled(0x5EED)),
+            ];
             let mut unwaived_total = 0usize;
+            let mut moved_total = 0usize;
             for &app in &apps {
                 for &variant in &variants {
                     let (diags, run_error) = check_app(app, &cfg, variant, &machine);
@@ -889,20 +942,33 @@ pub fn execute(cmd: Command) -> i32 {
                     for line in lines {
                         println!("{line}");
                     }
-                    if let Some(e) = run_error {
+                    if let Some(e) = &run_error {
                         println!("    run aborted: {e}");
                     }
                     unwaived_total += unwaived;
+                    if args.perturb && run_error.is_none() {
+                        moved_total += perturb_cell(app, &cfg, variant, &machine, &adversarial);
+                    }
                 }
             }
-            if unwaived_total > 0 {
-                println!("FAILED: {unwaived_total} unwaived diagnostic(s)");
+            if unwaived_total > 0 || moved_total > 0 {
+                let mut parts = Vec::new();
+                if unwaived_total > 0 {
+                    parts.push(format!("{unwaived_total} unwaived diagnostic(s)"));
+                }
+                if moved_total > 0 {
+                    parts.push(format!(
+                        "{moved_total} cell(s) moved under schedule perturbation"
+                    ));
+                }
+                println!("FAILED: {}", parts.join(", "));
                 EXIT_FINDINGS
             } else {
                 println!("all checks passed");
                 0
             }
         }
+        Command::Audit(args) => execute_audit(&args),
         Command::Soak(args) => execute_soak(&args),
         Command::Bench(args) => execute_bench(&args),
         Command::Predict(args) => execute_predict(&args),
@@ -1379,6 +1445,111 @@ pub fn check_app(
     }
 }
 
+/// Runs one app/variant once per adversarial tiebreak policy and compares
+/// makespan and checksum bit-for-bit against the FIFO baseline. Returns the
+/// number of orders under which the cell moved (0 = stable). Prints one
+/// summary line per cell, plus a detail line per moved order.
+fn perturb_cell(
+    app: AppId,
+    cfg: &SuiteConfig,
+    variant: Variant,
+    machine: &Machine,
+    adversarial: &[(&str, TieBreak)],
+) -> usize {
+    let base = match run_app(app, cfg, variant, machine) {
+        Ok(run) => run,
+        Err(e) => {
+            println!("    perturb: baseline run failed: {e}");
+            return 1;
+        }
+    };
+    let mut moved = 0usize;
+    for &(name, tb) in adversarial {
+        match run_app(app, cfg, variant, &machine.clone().with_tie_break(tb)) {
+            Ok(run) => {
+                let identical = run.elapsed == base.elapsed
+                    && run.checksum.to_bits() == base.checksum.to_bits();
+                if !identical {
+                    moved += 1;
+                    println!(
+                        "    perturb {name}: MOVED makespan {} -> {}, \
+                         checksum {:?} -> {:?}",
+                        base.elapsed, run.elapsed, base.checksum, run.checksum
+                    );
+                }
+            }
+            Err(e) => {
+                moved += 1;
+                println!("    perturb {name}: run failed: {e}");
+            }
+        }
+    }
+    if moved == 0 {
+        println!(
+            "    perturb: stable under {} adversarial order(s) (makespan {})",
+            adversarial.len(),
+            base.elapsed
+        );
+    }
+    moved
+}
+
+/// Executes the `audit` command: scans `root/crates/*/src` with the
+/// determinism rules and reports findings, waived sites, and stale waivers.
+pub fn execute_audit(args: &AuditArgs) -> i32 {
+    if args.rules {
+        for r in numagap_audit::RULES {
+            println!(
+                "{}  {}{}",
+                r.id,
+                r.summary,
+                if r.sim_state_only {
+                    "  [sim-state crates only]"
+                } else {
+                    ""
+                }
+            );
+            println!("       {}\n", r.rationale);
+        }
+        return 0;
+    }
+    let root = std::path::PathBuf::from(args.root.as_deref().unwrap_or("."));
+    let report = match numagap_audit::audit_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("audit: {e}");
+            return EXIT_ERROR;
+        }
+    };
+    let mut unwaived = 0usize;
+    let mut waived_count = 0usize;
+    for f in &report.findings {
+        if f.waived.is_some() {
+            waived_count += 1;
+        } else {
+            unwaived += 1;
+        }
+        println!("  {f}");
+    }
+    let stale = report.stale_waivers();
+    for w in &stale {
+        println!(
+            "  stale waiver: {} {} `{}` matched nothing — remove or update it",
+            w.rule, w.path_suffix, w.token
+        );
+    }
+    println!(
+        "audited {} files: {unwaived} finding(s), {waived_count} waived, {} stale waiver(s)",
+        report.files,
+        stale.len()
+    );
+    if unwaived > 0 || !stale.is_empty() {
+        EXIT_FINDINGS
+    } else {
+        0
+    }
+}
+
 /// The waiver table for `numagap check`: communication patterns the suite's
 /// applications use *by design* that the sanitizer rightly reports for
 /// unknown programs. Each entry documents why the pattern is benign here.
@@ -1616,6 +1787,41 @@ mod tests {
         assert!(parse(&["run", "--app", "asp", "--latency", "abc"]).is_err());
         assert!(parse(&["frobnicate"]).is_err());
         assert!(parse(&["run", "--app", "asp", "--wat", "1"]).is_err());
+    }
+
+    #[test]
+    fn parses_check_perturb() {
+        match parse(&["check", "--app", "tsp", "--perturb"]).unwrap() {
+            Command::Check(args) => {
+                assert_eq!(args.app, Some(AppId::Tsp));
+                assert!(args.perturb);
+                assert_eq!(args.scale, Scale::Small);
+            }
+            other => panic!("expected check, got {other:?}"),
+        }
+        match parse(&["check"]).unwrap() {
+            Command::Check(args) => assert!(!args.perturb),
+            other => panic!("expected check, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_audit() {
+        match parse(&["audit"]).unwrap() {
+            Command::Audit(args) => {
+                assert_eq!(args.root, None);
+                assert!(!args.rules);
+            }
+            other => panic!("expected audit, got {other:?}"),
+        }
+        match parse(&["audit", "--root", "/srv/repo", "--rules"]).unwrap() {
+            Command::Audit(args) => {
+                assert_eq!(args.root.as_deref(), Some("/srv/repo"));
+                assert!(args.rules);
+            }
+            other => panic!("expected audit, got {other:?}"),
+        }
+        assert!(parse(&["audit", "--root"]).is_err(), "--root needs a value");
     }
 
     #[test]

@@ -583,7 +583,10 @@ impl Coll {
                 let topo = ctx.topology().clone();
                 let my_cluster = ctx.cluster();
                 let members = topo.members(my_cluster).to_vec();
-                let my_pos = members.iter().position(|&r| r == me).unwrap();
+                let my_pos = members
+                    .iter()
+                    .position(|&r| r == me)
+                    .expect("caller rank is a member of its own cluster");
                 let acc = if my_pos == 0 {
                     contrib.clone()
                 } else {
@@ -594,20 +597,20 @@ impl Coll {
                     let bytes = acc.wire_bytes();
                     ctx.send(members[my_pos + 1], chain_tag, acc.clone(), bytes);
                 }
-                let last = *members.last().unwrap();
+                let last = *members.last().expect("clusters are never empty");
                 let mut offset: Option<T> = None;
                 if me == last {
                     // MagPIe-style: every cluster's *total* goes directly to
                     // all later clusters in parallel, so the wide-area part
                     // completes in one latency (not a chain).
                     for c in (my_cluster + 1)..topo.nclusters() {
-                        let their_last = *topo.members(c).last().unwrap();
+                        let their_last = *topo.members(c).last().expect("clusters are never empty");
                         let bytes = acc.wire_bytes();
                         ctx.send(their_last, chain_tag, acc.clone(), bytes);
                     }
                     let mut incoming: Option<T> = None;
                     for c in 0..my_cluster {
-                        let their_last = *topo.members(c).last().unwrap();
+                        let their_last = *topo.members(c).last().expect("clusters are never empty");
                         let total = ctx.recv_from(their_last, chain_tag);
                         let total = total.expect_ref::<T>();
                         incoming = Some(match &incoming {

@@ -89,6 +89,14 @@ impl CommDag {
 struct RecState {
     ops: Vec<Vec<Op>>,
     msgs: Vec<MsgMeta>,
+    /// Per rank, op-list indices of `Op::Send` placeholders whose sequence
+    /// number is still unknown. `on_send_posted` fires in the rank's program
+    /// order when the send executes; the kernel books transfers (assigning
+    /// sequence numbers and firing `on_send`) at the timestamp boundary in
+    /// canonical `(departure, rank, send index)` order, which restricted to
+    /// one rank is again that rank's program order — so resolving each
+    /// rank's placeholders FIFO reconstructs the mapping exactly.
+    unresolved: Vec<std::collections::VecDeque<usize>>,
 }
 
 /// Records a [`CommDag`] from one observed run.
@@ -110,6 +118,7 @@ impl DagRecorder {
             state: Arc::new(Mutex::new(RecState {
                 ops: vec![Vec::new(); nprocs],
                 msgs: Vec::new(),
+                unresolved: vec![std::collections::VecDeque::new(); nprocs],
             })),
         }
     }
@@ -137,8 +146,13 @@ impl DagRecorder {
                 RecState {
                     ops: s.ops.clone(),
                     msgs: s.msgs.clone(),
+                    unresolved: s.unresolved.clone(),
                 }
             });
+        assert!(
+            state.unresolved.iter().all(|q| q.is_empty()),
+            "recorded sends were never booked — run did not complete cleanly"
+        );
         CommDag {
             ops: state.ops,
             msgs: state.msgs,
@@ -161,6 +175,16 @@ impl Observer for DagObserver {
         s.ops[p.0].push(Op::Compute(end.since(start)));
     }
 
+    fn on_send_posted(&mut self, src: ProcId, _dst: ProcId, _wire_bytes: u64, _now: SimTime) {
+        // The send's position in the rank's program order is fixed here; its
+        // sequence number arrives with `on_send` when the kernel books the
+        // transfer at the timestamp boundary.
+        let mut s = self.state.lock().expect("recorder state poisoned");
+        let idx = s.ops[src.0].len();
+        s.ops[src.0].push(Op::Send { seq: u64::MAX });
+        s.unresolved[src.0].push_back(idx);
+    }
+
     fn on_send(&mut self, dst: ProcId, msg: &Message) {
         let mut s = self.state.lock().expect("recorder state poisoned");
         assert_eq!(
@@ -174,8 +198,10 @@ impl Observer for DagObserver {
             dst,
             wire_bytes: msg.wire_bytes,
         });
-        let op = Op::Send { seq: msg.seq };
-        s.ops[msg.src.0].push(op);
+        let idx = s.unresolved[msg.src.0]
+            .pop_front()
+            .expect("on_send without a preceding on_send_posted");
+        s.ops[msg.src.0][idx] = Op::Send { seq: msg.seq };
     }
 
     fn on_recv_matched(&mut self, p: ProcId, msg: &Message, _now: SimTime) {

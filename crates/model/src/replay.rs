@@ -4,10 +4,14 @@
 //! kernel's scheduling rules *exactly*: one rank runs at a time, a rank
 //! keeps running through sends and already-arrived receives, and it yields
 //! only on `compute` and on receives whose message is still in flight.
-//! Event-queue sequence numbers are consumed in the same pattern as the
-//! kernel (one per compute wake, one per message delivery), so same-instant
-//! ties resolve identically and a replay at the recording spec reproduces
-//! the recorded run bit for bit. A fresh [`TwoLayerNetwork`] built from the
+//! Like the kernel, link bookings are deferred: a send frees the sender
+//! immediately (software overhead only) and the actual network transfer is
+//! booked at the end of the timestamp, with all pending sends replayed in
+//! canonical `(departure, rank, send index)` order. Event-queue sequence
+//! numbers are consumed in the same pattern as the kernel (one per compute
+//! wake, one per message delivery at flush time), so same-instant ties
+//! resolve identically and a replay at the recording spec reproduces the
+//! recorded run bit for bit. A fresh [`TwoLayerNetwork`] built from the
 //! what-if spec serves as the cost oracle, so link serialization, gateway
 //! occupancy, and WAN contention are all re-derived under the new
 //! parameters rather than scaled from the recording.
@@ -75,9 +79,10 @@ pub fn replay(dag: &CommDag, spec: &TwoLayerSpec) -> Replay {
     let mut finish = vec![SimTime::ZERO; n];
 
     // Event heap keyed by (time, sequence). The sequence counter advances in
-    // the same pattern as the kernel's — initial wakes, then one per compute
-    // and one per send — so ties at equal times break identically and the
-    // stateful network model sees transfers in the same order.
+    // the same pattern as the kernel's — initial wakes, one per compute
+    // wake, and one per message delivery scheduled at flush time — so ties
+    // at equal times break identically and the stateful network model sees
+    // transfers in the same order.
     let mut heap: BinaryHeap<Reverse<(SimTime, u64, usize)>> = BinaryHeap::new();
     let mut evseq = 0u64;
     for p in 0..n {
@@ -85,7 +90,33 @@ pub fn replay(dag: &CommDag, spec: &TwoLayerSpec) -> Replay {
         evseq += 1;
     }
 
-    while let Some(Reverse((slot_time, slot_seq, p))) = heap.pop() {
+    // Sends executed in the current timestamp, booked against the network
+    // at the next timestamp boundary in the kernel's canonical order.
+    let mut pending: Vec<(SimTime, usize, u64, usize)> = Vec::new();
+    let mut sends_by_rank = vec![0u64; n];
+    let mut now = SimTime::ZERO;
+
+    loop {
+        let at_boundary = heap.peek().is_none_or(|&Reverse((t, _, _))| t > now);
+        if at_boundary && !pending.is_empty() {
+            pending.sort_unstable_by_key(|&(at, src, idx, _)| (at, src, idx));
+            for (at, _, _, seq) in pending.drain(..) {
+                let m = dag.msgs[seq];
+                let t = net.transfer(m.src, m.dst, m.wire_bytes, at);
+                debug_assert_eq!(t.sender_free, net.sender_free(m.wire_bytes, at));
+                arrival[seq] = Some(t.arrival);
+                deliver_seq[seq] = evseq;
+                evseq += 1;
+                if let Some(w) = parked[seq].take() {
+                    heap.push(Reverse((t.arrival, deliver_seq[seq], w)));
+                }
+            }
+            continue;
+        }
+        let Some(Reverse((slot_time, slot_seq, p))) = heap.pop() else {
+            break;
+        };
+        now = slot_time;
         // Service rank `p` until it suspends (compute, undelivered recv) or
         // finishes — the same one-runner-at-a-time discipline as the kernel.
         loop {
@@ -104,17 +135,12 @@ pub fn replay(dag: &CommDag, spec: &TwoLayerSpec) -> Replay {
                 }
                 Op::Send { seq } => {
                     let m = dag.msgs[seq as usize];
-                    let t = net.transfer(m.src, m.dst, m.wire_bytes, clock[p]);
                     sent_at[seq as usize] = clock[p];
-                    arrival[seq as usize] = Some(t.arrival);
-                    deliver_seq[seq as usize] = evseq;
-                    evseq += 1;
-                    clock[p] = t.sender_free;
+                    pending.push((clock[p], p, sends_by_rank[p], seq as usize));
+                    sends_by_rank[p] += 1;
+                    clock[p] = net.sender_free(m.wire_bytes, clock[p]);
                     op_end[p].push(clock[p]);
                     pc[p] += 1;
-                    if let Some(w) = parked[seq as usize].take() {
-                        heap.push(Reverse((t.arrival, deliver_seq[seq as usize], w)));
-                    }
                 }
                 Op::Recv { seq } => match arrival[seq as usize] {
                     Some(a) => {

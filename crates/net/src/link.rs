@@ -69,14 +69,27 @@ impl LinkParams {
     }
 }
 
-/// FIFO occupancy state of one simulated resource (a NIC or a WAN link).
+/// Occupancy state of one simulated resource (a NIC, a gateway CPU, or a
+/// WAN link): a single server that serves each transmission for its
+/// serialization time, as early as possible at or after the instant the
+/// transmission is ready.
 ///
-/// A transmission holds the resource from `max(ready, free_at)` for the
-/// serialization time; later transmissions queue behind it.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+/// The state is a sorted list of disjoint busy intervals rather than a
+/// single high-water mark, so a transmission ready at `t` slots into the
+/// earliest idle *gap* after `t` that fits it. A high-water-mark resource
+/// (`start = max(ready, free_at)`) is only equivalent when acquisitions
+/// arrive in ready-time order; the kernel books whole transfer chains at
+/// once (a message's downstream gateway is reserved ~one WAN latency ahead
+/// of its neighbours' outgoing traffic), and under a high-water mark those
+/// far-future reservations force every later-booked, earlier-ready message
+/// to queue behind idle air. Gap filling keeps the outcome close to a true
+/// ready-order FIFO regardless of booking order — which is what lets the
+/// kernel book in canonical `(sent_at, rank, index)` order and makes
+/// virtual time invariant under event-tiebreak perturbation.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct LinkState {
-    /// When the resource next becomes free.
-    pub free_at: SimTime,
+    /// Disjoint, coalesced busy intervals `[start, end)`, sorted by start.
+    intervals: Vec<(SimTime, SimTime)>,
     /// Total busy time accumulated (for utilization reporting).
     pub busy: SimDuration,
     /// Total bytes serialized through this resource.
@@ -87,14 +100,48 @@ pub struct LinkState {
 
 impl LinkState {
     /// Occupies the resource for `tx` starting no earlier than `ready`;
-    /// returns the time at which serialization starts.
+    /// returns the time at which serialization starts — the beginning of
+    /// the earliest idle gap at or after `ready` wide enough for `tx`.
     pub fn acquire(&mut self, ready: SimTime, tx: SimDuration, bytes: u64) -> SimTime {
-        let start = ready.max(self.free_at);
-        self.free_at = start + tx;
         self.busy += tx;
         self.bytes += bytes;
         self.msgs += 1;
+        // Fast path: ready at or beyond the frontier — append.
+        if self.intervals.last().is_none_or(|&(_, e)| e <= ready) {
+            self.insert_at(self.intervals.len(), ready, ready + tx);
+            return ready;
+        }
+        // Intervals are disjoint and sorted, so their ends are sorted too:
+        // skip everything that finishes before we could start.
+        let mut start = ready;
+        let first = self.intervals.partition_point(|&(_, e)| e <= ready);
+        let mut idx = self.intervals.len();
+        for (i, &(s, e)) in self.intervals.iter().enumerate().skip(first) {
+            if s >= start + tx {
+                // The gap before interval `i` fits the transmission.
+                idx = i;
+                break;
+            }
+            start = e;
+        }
+        self.insert_at(idx, start, start + tx);
         start
+    }
+
+    /// Inserts busy interval `[s, e)` at position `idx`, coalescing with
+    /// abutting neighbours so the list stays short under convoy traffic.
+    fn insert_at(&mut self, idx: usize, s: SimTime, e: SimTime) {
+        let merge_prev = idx > 0 && self.intervals[idx - 1].1 == s;
+        let merge_next = idx < self.intervals.len() && self.intervals[idx].0 == e;
+        match (merge_prev, merge_next) {
+            (true, true) => {
+                self.intervals[idx - 1].1 = self.intervals[idx].1;
+                self.intervals.remove(idx);
+            }
+            (true, false) => self.intervals[idx - 1].1 = e,
+            (false, true) => self.intervals[idx].0 = s,
+            (false, false) => self.intervals.insert(idx, (s, e)),
+        }
     }
 }
 
@@ -135,13 +182,41 @@ mod tests {
         // Second transfer ready at t=0 must wait for the first.
         let s2 = l.acquire(SimTime::ZERO, tx, 100);
         assert_eq!(s2, SimTime::ZERO + tx);
-        // A transfer ready later than free_at starts when ready.
+        // A transfer ready after the frontier starts when ready.
         let late = SimTime::ZERO + SimDuration::from_millis(1);
         let s3 = l.acquire(late, tx, 100);
         assert_eq!(s3, late);
         assert_eq!(l.msgs, 3);
         assert_eq!(l.bytes, 300);
         assert_eq!(l.busy, tx * 3);
+    }
+
+    #[test]
+    fn early_ready_transmission_fills_the_gap_left_by_a_future_booking() {
+        let mut l = LinkState::default();
+        let tx = SimDuration::from_micros(10);
+        // A chain booked ahead of time reserves [1ms, 1ms+10us).
+        let far = SimTime::ZERO + SimDuration::from_millis(1);
+        assert_eq!(l.acquire(far, tx, 1), far);
+        // A transmission ready at t=0 must not queue behind idle air: the
+        // resource is free for a full millisecond before the reservation.
+        assert_eq!(l.acquire(SimTime::ZERO, tx, 1), SimTime::ZERO);
+        // A gap too narrow for the transmission is skipped over.
+        let near = far - SimDuration::from_micros(5);
+        assert_eq!(l.acquire(near, tx, 1), far + tx);
+    }
+
+    #[test]
+    fn gap_filling_coalesces_abutting_intervals() {
+        let mut l = LinkState::default();
+        let tx = SimDuration::from_micros(10);
+        // Book [0,10), [20,30), then fill [10,20): all three coalesce, so a
+        // fourth transmission ready at zero starts at the frontier.
+        assert_eq!(l.acquire(SimTime::ZERO, tx, 1), SimTime::ZERO);
+        let t20 = SimTime::ZERO + tx + tx;
+        assert_eq!(l.acquire(t20, tx, 1), t20);
+        assert_eq!(l.acquire(SimTime::ZERO, tx, 1), SimTime::ZERO + tx);
+        assert_eq!(l.acquire(SimTime::ZERO, tx, 1), t20 + tx);
     }
 
     #[test]

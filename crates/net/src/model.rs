@@ -178,6 +178,14 @@ pub struct TwoLayerNetwork {
     gw_cpu: Vec<LinkState>,
     /// `wan[src_cluster][dst_cluster]`; diagonal unused.
     wan: Vec<Vec<LinkState>>,
+    /// Last fault-free arrival per ordered `(src, dst)` pair, indexed
+    /// `src * nprocs + dst`. Gap-filling link occupancy lets a small late
+    /// message slip into an idle gap a larger earlier message of the same
+    /// pair skipped; this floor restores the per-pair FIFO delivery the
+    /// applications and the module-level ordering contract rely on (the
+    /// overtaking message is held and delivered just after its
+    /// predecessor, as an in-order transport would).
+    pair_floor: Vec<SimTime>,
     /// Counter feeding the deterministic latency-jitter hash.
     jitter_seq: u64,
     /// Per ordered cluster pair: how many fault decisions this link has
@@ -224,6 +232,7 @@ impl TwoLayerNetwork {
             gw_lan_out: vec![LinkState::default(); c],
             gw_cpu: vec![LinkState::default(); c],
             wan: vec![vec![LinkState::default(); c]; c],
+            pair_floor: vec![SimTime::ZERO; n * n],
             jitter_seq: 0,
             fault_seq: vec![vec![0; c]; c],
             stats: NetStats {
@@ -256,6 +265,10 @@ impl TwoLayerNetwork {
 }
 
 impl Network for TwoLayerNetwork {
+    fn sender_free(&self, _wire_bytes: u64, now: SimTime) -> SimTime {
+        now + self.spec.send_overhead
+    }
+
     fn transfer(&mut self, src: ProcId, dst: ProcId, wire_bytes: u64, now: SimTime) -> Transfer {
         let size = wire_bytes + self.spec.header_bytes;
         let sender_free = now + self.spec.send_overhead;
@@ -328,6 +341,15 @@ impl Network for TwoLayerNetwork {
                 ready3,
             )
         };
+        // Per-pair FIFO: never deliver before (or at the same instant as) an
+        // earlier message of the same ordered pair.
+        let floor = &mut self.pair_floor[src.0 * self.spec.topology.nprocs() + dst.0];
+        let arrival = if arrival <= *floor {
+            *floor + SimDuration::from_nanos(1)
+        } else {
+            arrival
+        };
+        *floor = arrival;
         Transfer {
             sender_free,
             arrival,

@@ -4,7 +4,8 @@ use std::sync::Arc;
 
 use numagap_net::{NetStats, TwoLayerNetwork, TwoLayerSpec};
 use numagap_sim::{
-    HotProfile, KernelStats, Observer, ProcStats, Sim, SimDuration, SimError, SimTime, TraceLog,
+    HotProfile, KernelStats, Observer, ProcStats, Sim, SimDuration, SimError, SimTime, TieBreak,
+    TraceLog,
 };
 
 use crate::ctx::Ctx;
@@ -30,6 +31,7 @@ pub struct Machine {
     time_limit: Option<SimDuration>,
     tracing: bool,
     transport: Option<TransportConfig>,
+    tie_break: TieBreak,
 }
 
 impl Machine {
@@ -40,7 +42,20 @@ impl Machine {
             time_limit: None,
             tracing: false,
             transport: None,
+            tie_break: TieBreak::Fifo,
         }
+    }
+
+    /// Sets the kernel's tiebreak policy for equal-timestamp events
+    /// (default [`TieBreak::Fifo`], the native deterministic order).
+    ///
+    /// The adversarial policies only permute events sharing a virtual
+    /// timestamp, so any change in a run's makespan or results under them
+    /// exposes dependence on scheduler tiebreak choice. This is the hook
+    /// behind `numagap check --perturb`.
+    pub fn with_tie_break(mut self, policy: TieBreak) -> Self {
+        self.tie_break = policy;
+        self
     }
 
     /// Runs every rank over the reliable transport (see `crate::reliable`),
@@ -132,6 +147,7 @@ impl Machine {
         }
         let net = TwoLayerNetwork::new(spec.clone());
         let mut sim = Sim::new(net);
+        sim.tie_break(self.tie_break);
         if let Some(limit) = self.time_limit {
             sim.time_limit(SimTime::ZERO + limit);
         }
@@ -444,5 +460,94 @@ mod tests {
         assert_eq!(a.elapsed, b.elapsed);
         assert_eq!(a.results, b.results);
         assert_eq!(a.net_stats.inter_msgs, b.net_stats.inter_msgs);
+    }
+
+    #[test]
+    fn adversarial_tie_breaks_leave_outcome_bit_identical() {
+        // All ranks share Wake events at t=0 (permuted by the adversarial
+        // policies), then stagger their sends so no two transfers contend
+        // for a shared network resource at the same instant — the paper
+        // apps' shape. A structurally deterministic program must produce a
+        // bit-identical report under every policy.
+        let run = |tb: TieBreak| {
+            let machine = Machine::new(das_spec(2, 4, 5.0, 0.5)).with_tie_break(tb);
+            machine
+                .run(|ctx| {
+                    let n = ctx.nprocs();
+                    let me = ctx.rank();
+                    ctx.compute(SimDuration::from_micros(1 + me as u64));
+                    for d in 0..n {
+                        if d != me {
+                            ctx.send(d, Tag::app(1), me as u64, 64);
+                        }
+                    }
+                    let mut acc = 0u64;
+                    for _ in 0..n - 1 {
+                        let (_, v): (usize, u64) = ctx.recv_typed(Tag::app(1));
+                        acc = acc.wrapping_add(v.wrapping_mul(v ^ 0x9E37));
+                        ctx.compute(SimDuration::from_micros(10));
+                    }
+                    acc
+                })
+                .unwrap()
+        };
+        let fifo = run(TieBreak::Fifo);
+        for tb in [
+            TieBreak::Reversed,
+            TieBreak::Shuffled(1),
+            TieBreak::Shuffled(0xFEED),
+        ] {
+            let p = run(tb);
+            assert_eq!(fifo.elapsed, p.elapsed, "{tb}: makespan moved");
+            assert_eq!(fifo.results, p.results, "{tb}: results moved");
+            assert_eq!(
+                fifo.kernel_stats, p.kernel_stats,
+                "{tb}: kernel accounting moved"
+            );
+        }
+    }
+
+    #[test]
+    fn same_instant_link_contention_is_arbitrated_canonically() {
+        // The hard case: two ranks sending over the same WAN gateway at the
+        // exact same virtual instant. The kernel defers link booking to the
+        // timestamp boundary and replays it in canonical (departure, rank,
+        // send index) order, so even here — where event order is the ONLY
+        // thing an eager booking could arbitrate by — the makespan must not
+        // move under adversarial tiebreak policies. One receiver computes
+        // after its receive, so whichever message queued second WOULD be
+        // visible in the final time if arbitration leaked event order.
+        let run = |tb: TieBreak| {
+            let machine = Machine::new(das_spec(2, 4, 5.0, 0.5)).with_tie_break(tb);
+            machine
+                .run(|ctx| {
+                    let me = ctx.rank();
+                    if me < 2 {
+                        // Same-instant inter-cluster sends from two ranks.
+                        ctx.send(me + 4, Tag::app(1), me as u64, 4096);
+                    } else if me == 4 {
+                        // Post-receive compute dominates the makespan, so
+                        // whichever queueing order delayed THIS message is
+                        // visible in the final time.
+                        let (_, v): (usize, u64) = ctx.recv_typed(Tag::app(1));
+                        ctx.compute(SimDuration::from_millis(5));
+                        return v;
+                    } else if me == 5 {
+                        let (_, v): (usize, u64) = ctx.recv_typed(Tag::app(1));
+                        return v;
+                    }
+                    0
+                })
+                .unwrap()
+        };
+        let fifo = run(TieBreak::Fifo);
+        for tb in [TieBreak::Reversed, TieBreak::Shuffled(0xFEED)] {
+            let p = run(tb);
+            assert_eq!(fifo.results, p.results, "{tb}: tagged payloads moved");
+            assert_eq!(
+                fifo.elapsed, p.elapsed,
+                "{tb}: same-instant contention leaked event order into the makespan"
+            );
+        }
     }
 }

@@ -23,12 +23,20 @@
 //! only host-timing-dependent counter in the profile and is excluded from
 //! exact benchmark comparison.
 
-use std::sync::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 
 use crate::process::{Grant, Request};
 
 /// Iterations a waiter spins on the slot before starting to yield.
+///
+/// Under `cfg(loom)` a single probe: every spin iteration is a schedule
+/// choice point for the model checker, so a long budget explodes the
+/// search space without adding distinct behaviors (spinning is pure
+/// polling — one probe covers the "saw it before parking" interleaving).
+#[cfg(not(loom))]
 const SPIN: u32 = 192;
+#[cfg(loom)]
+const SPIN: u32 = 1;
 
 /// `yield_now` polls after the busy-spin phase, before parking. A peer that
 /// was itself parked takes microseconds of scheduler latency to wake and
@@ -38,7 +46,10 @@ const SPIN: u32 = 192;
 /// legacy channel behavior). Yielding covers that latency cheaply: with no
 /// other runnable thread a yield returns almost immediately, and with one
 /// it donates the time slice the waking peer needs.
+#[cfg(not(loom))]
 const YIELDS: u32 = 64;
+#[cfg(loom)]
+const YIELDS: u32 = 0;
 
 /// The peer thread hung up: the process side was dropped (normal thread
 /// exit after `Exit`, or a panic unwinding the entry function).
@@ -105,9 +116,9 @@ impl Handoff {
                 }
             }
             if i < SPIN {
-                std::hint::spin_loop();
+                crate::sync::spin_loop();
             } else {
-                std::thread::yield_now();
+                crate::sync::yield_now();
             }
         }
         let mut s = self.slot.lock().expect("handoff mutex poisoned");
@@ -149,9 +160,9 @@ impl Handoff {
                 }
             }
             if i < SPIN {
-                std::hint::spin_loop();
+                crate::sync::spin_loop();
             } else {
-                std::thread::yield_now();
+                crate::sync::yield_now();
             }
         }
         let mut s = self.slot.lock().expect("handoff mutex poisoned");
@@ -181,6 +192,112 @@ impl Handoff {
     /// directions. Host-timing dependent (spins that succeed wake nobody).
     pub(crate) fn park_wakes(&self) -> u64 {
         self.slot.lock().expect("handoff mutex poisoned").park_wakes
+    }
+}
+
+/// Exhaustive model checking of the handoff protocol (vendored loom shim).
+///
+/// Run with `RUSTFLAGS='--cfg loom' cargo test -p numagap-sim --lib loom_`.
+/// Each test explores **every** interleaving of lock/condvar operations
+/// between the kernel side, the process side, and shutdown; the model's
+/// condvars never wake spuriously, so any reliance on a racy notify shows
+/// up as a deadlock with the offending schedule attached.
+#[cfg(all(loom, test))]
+mod loom_tests {
+    use super::*;
+    use crate::time::SimTime;
+    use crate::SimDuration;
+    use loom::sync::Arc;
+    use loom::thread;
+
+    /// No lost wakeup on the grant path, and each grant is delivered
+    /// exactly once: two grant/request rounds must complete under every
+    /// interleaving (a lost or doubled grant deadlocks or trips the
+    /// strict-alternation debug asserts).
+    #[test]
+    fn loom_two_rendezvous_rounds_deliver_each_grant_once() {
+        loom::model(|| {
+            let h = Arc::new(Handoff::new());
+            let h2 = Arc::clone(&h);
+            let proc_side = thread::spawn(move || {
+                let g = h2.wait_grant();
+                assert!(matches!(g, Grant::Proceed(t) if t == SimTime::from_nanos(7)));
+                h2.send_request(Request::Compute(SimDuration::from_nanos(3)));
+                let g = h2.wait_grant();
+                assert!(matches!(g, Grant::Proceed(t) if t == SimTime::from_nanos(9)));
+                h2.hangup();
+            });
+            h.grant(Grant::Proceed(SimTime::from_nanos(7)))
+                .expect("process alive for first grant");
+            match h.recv_request() {
+                Ok(Request::Compute(d)) => assert_eq!(d, SimDuration::from_nanos(3)),
+                other => panic!("wrong request, ok={}", other.is_ok()),
+            }
+            h.grant(Grant::Proceed(SimTime::from_nanos(9)))
+                .expect("process alive for second grant");
+            assert!(matches!(h.recv_request(), Err(Hangup)));
+            proc_side.join().expect("process side");
+        });
+    }
+
+    /// Shutdown racing a parked (or parking) kernel: `hangup` must wake a
+    /// kernel waiting in `recv_request` under every interleaving — the
+    /// schedule where the kernel checks `proc_gone`, then the hangup lands,
+    /// then the kernel parks, is the classic lost-wakeup window.
+    #[test]
+    fn loom_hangup_always_wakes_a_waiting_kernel() {
+        loom::model(|| {
+            let h = Arc::new(Handoff::new());
+            let h2 = Arc::clone(&h);
+            let proc_side = thread::spawn(move || h2.hangup());
+            assert!(matches!(h.recv_request(), Err(Hangup)));
+            proc_side.join().expect("process side");
+        });
+    }
+
+    /// A request published right before shutdown must never be lost to the
+    /// concurrent hangup: the kernel drains the pending request first and
+    /// only then observes `Hangup`, whatever the interleaving.
+    #[test]
+    fn loom_pending_request_wins_over_hangup() {
+        loom::model(|| {
+            let h = Arc::new(Handoff::new());
+            let h2 = Arc::clone(&h);
+            let proc_side = thread::spawn(move || {
+                h2.send_request(Request::Compute(SimDuration::from_nanos(1)));
+                h2.hangup();
+            });
+            match h.recv_request() {
+                Ok(Request::Compute(d)) => assert_eq!(d, SimDuration::from_nanos(1)),
+                other => panic!("request lost to hangup, ok={}", other.is_ok()),
+            }
+            assert!(matches!(h.recv_request(), Err(Hangup)));
+            proc_side.join().expect("process side");
+        });
+    }
+
+    /// Grant racing shutdown: under every interleaving the kernel either
+    /// delivers the grant to a still-live process (which then consumes it
+    /// and hangs up) or observes the hangup — never a silent drop on a live
+    /// receiver, never a wake for a dead one.
+    #[test]
+    fn loom_grant_vs_hangup_is_delivered_or_reported() {
+        loom::model(|| {
+            let h = Arc::new(Handoff::new());
+            let h2 = Arc::clone(&h);
+            let proc_side = thread::spawn(move || {
+                let g = h2.wait_grant();
+                assert!(matches!(g, Grant::Proceed(t) if t == SimTime::from_nanos(5)));
+                h2.hangup();
+            });
+            // The process only hangs up after consuming the grant, so the
+            // kernel's publish must always succeed — Err(Hangup) here would
+            // mean the slot died with a waiter still parked in wait_grant.
+            h.grant(Grant::Proceed(SimTime::from_nanos(5)))
+                .expect("grant must reach the waiting process");
+            assert!(matches!(h.recv_request(), Err(Hangup)));
+            proc_side.join().expect("process side");
+        });
     }
 }
 

@@ -28,11 +28,11 @@ use std::thread::JoinHandle;
 
 use serde::{Deserialize, Serialize};
 
-use crate::equeue::{EventEntry, EventKind, EventQueue};
+use crate::equeue::{EventEntry, EventKind, EventQueue, TieBreak};
 use crate::error::{PendingMessage, ProcFailure, SimError, WaitState};
 use crate::handoff::Handoff;
 use crate::mailbox::{Mailbox, MailboxCounters};
-use crate::message::{self, Filter, Message};
+use crate::message::{self, Filter, Message, Payload, Tag};
 use crate::network::{FaultEvent, FaultKind, Network};
 use crate::observe::Observer;
 use crate::process::{AbortToken, Grant, HangupGuard, ProcCtx, Request};
@@ -205,6 +205,7 @@ pub struct Sim<N: Network> {
     stack_size: usize,
     tracing: bool,
     observer: Option<Box<dyn Observer>>,
+    tie_break: TieBreak,
 }
 
 impl<N: Network + std::fmt::Debug> std::fmt::Debug for Sim<N> {
@@ -227,7 +228,21 @@ impl<N: Network> Sim<N> {
             stack_size: 8 << 20,
             tracing: false,
             observer: None,
+            tie_break: TieBreak::Fifo,
         }
+    }
+
+    /// Sets the tiebreak policy for equal-timestamp events (default
+    /// [`TieBreak::Fifo`], the deterministic native order).
+    ///
+    /// The adversarial policies only permute events that share a virtual
+    /// timestamp; a program whose outcome is a pure function of its inputs
+    /// must produce a bit-identical result under every policy. `numagap
+    /// check --perturb` uses this hook to prove golden values are invariant
+    /// under scheduler choice rather than accidents of insertion order.
+    pub fn tie_break(&mut self, policy: TieBreak) -> &mut Self {
+        self.tie_break = policy;
+        self
     }
 
     /// Installs an [`Observer`] that receives every communication event of
@@ -301,12 +316,39 @@ impl<N: Network> Sim<N> {
     }
 }
 
+/// A send whose stateful network booking is deferred to the end of the
+/// timestamp it was issued in.
+///
+/// The sender already resumed (its clock advanced by the sender-side
+/// overhead from [`Network::sender_free`]); what remains — link
+/// acquisition, fault disposition, and scheduling the delivery — is
+/// replayed at the timestamp boundary in canonical `(sent_at, src,
+/// send_idx)` order, a pure function of application behavior. Booking
+/// immediately instead would serialize same-instant transfers through the
+/// network's FIFO resources in *event* order, letting the tiebreak policy
+/// leak into arrival times.
+struct PendingSend {
+    src: ProcId,
+    dst: ProcId,
+    tag: Tag,
+    wire_bytes: u64,
+    sent_at: SimTime,
+    sender_free: SimTime,
+    /// Ordinal of this send among `src`'s sends (0-based), breaking ties
+    /// between same-instant sends from one rank (possible when the network
+    /// charges no sender-side overhead).
+    send_idx: u64,
+    payload: Payload,
+}
+
 struct Kernel<N: Network> {
     net: N,
     queue: EventQueue,
     slots: Vec<ProcSlot>,
     seq: u64,
     msg_seq: u64,
+    tie_break: TieBreak,
+    pending_sends: Vec<PendingSend>,
     now: SimTime,
     live: usize,
     time_limit: Option<SimTime>,
@@ -366,6 +408,8 @@ impl<N: Network> Kernel<N> {
             slots,
             seq: 0,
             msg_seq: 0,
+            tie_break: sim.tie_break,
+            pending_sends: Vec::new(),
             now: SimTime::ZERO,
             live: nprocs,
             time_limit: sim.time_limit,
@@ -385,7 +429,13 @@ impl<N: Network> Kernel<N> {
     fn schedule(&mut self, time: SimTime, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(EventEntry { time, seq, kind });
+        let tie = self.tie_break.tie(seq);
+        self.queue.push(EventEntry {
+            time,
+            seq,
+            tie,
+            kind,
+        });
     }
 
     /// Hands a grant to process `p`; on hangup (the thread panicked while
@@ -400,8 +450,101 @@ impl<N: Network> Kernel<N> {
         true
     }
 
+    /// Books every deferred send against the network in canonical
+    /// `(departure time, sender rank, per-rank send index)` order — a pure
+    /// function of application behavior, independent of the event tiebreak
+    /// policy. This is what makes virtual time invariant under schedule
+    /// perturbation ([`TieBreak`]): same-instant transfers contending for a
+    /// FIFO link resource are always arbitrated in the same order no matter
+    /// which order the kernel happened to run their senders in. Verified
+    /// end to end by the tiebreak-invariance suite and `numagap check
+    /// --perturb`.
+    fn flush_sends(&mut self) {
+        self.pending_sends
+            .sort_unstable_by_key(|s| (s.sent_at, s.src.0, s.send_idx));
+        for ps in std::mem::take(&mut self.pending_sends) {
+            let PendingSend {
+                src,
+                dst,
+                tag,
+                wire_bytes,
+                sent_at,
+                sender_free,
+                send_idx: _,
+                payload,
+            } = ps;
+            let transfer = self.net.transfer(src, dst, wire_bytes, sent_at);
+            debug_assert_eq!(
+                transfer.sender_free, sender_free,
+                "Network::sender_free must agree with Network::transfer"
+            );
+            debug_assert!(transfer.arrival >= sent_at);
+            if let Some(trace) = self.trace.as_mut() {
+                trace.message(src, dst, tag, wire_bytes, sent_at, transfer.arrival);
+            }
+            let msg_seq = self.msg_seq;
+            self.msg_seq += 1;
+            let msg = Message {
+                seq: msg_seq,
+                src,
+                tag,
+                wire_bytes,
+                sent_at,
+                arrived_at: transfer.arrival,
+                payload,
+            };
+            if let Some(obs) = self.observer.as_mut() {
+                obs.on_send(dst, &msg);
+                obs.on_sender_free(src, msg_seq, transfer.sender_free);
+            }
+            if self.net.faults_enabled() {
+                let disposition = self
+                    .net
+                    .fault_disposition(src, dst, tag, wire_bytes, sent_at, &transfer);
+                if let Some(kind) = disposition.kind {
+                    match kind {
+                        FaultKind::Drop => self.kstats.faults_dropped += 1,
+                        FaultKind::Duplicate => self.kstats.faults_duplicated += 1,
+                        FaultKind::Delay => self.kstats.faults_delayed += 1,
+                    }
+                    if let Some(obs) = self.observer.as_mut() {
+                        obs.on_fault(&FaultEvent {
+                            kind,
+                            src,
+                            dst,
+                            seq: msg_seq,
+                            tag,
+                            at: sent_at,
+                            cause: disposition.cause,
+                        });
+                    }
+                }
+                // Fault copies share the payload `Arc`; only the
+                // message header is duplicated per arrival.
+                for &arrival in &disposition.arrivals {
+                    debug_assert!(arrival >= sent_at);
+                    let mut copy = msg.clone();
+                    copy.arrived_at = arrival;
+                    self.schedule(arrival, EventKind::Deliver(dst, copy));
+                }
+            } else {
+                self.schedule(transfer.arrival, EventKind::Deliver(dst, msg));
+            }
+        }
+    }
+
     fn run(mut self) -> Result<RunOutcome<N>, SimError> {
         loop {
+            // Flush deferred bookings at every timestamp boundary, and
+            // before concluding the machine is idle: booking may schedule a
+            // delivery at or before the next queued event's time (or
+            // unblock an otherwise "deadlocked" receiver), so re-peek
+            // rather than holding a popped event across the flush.
+            let at_boundary = self.queue.next_time().is_none_or(|next| next > self.now);
+            if at_boundary && !self.pending_sends.is_empty() {
+                self.flush_sends();
+                continue;
+            }
             let Some(entry) = self.queue.pop() else {
                 break;
             };
@@ -435,6 +578,12 @@ impl<N: Network> Kernel<N> {
             if self.live == 0 {
                 break;
             }
+        }
+        if !self.pending_sends.is_empty() {
+            // Reachable only via the `live == 0` break: the last process
+            // exited inside the current timestamp with sends still pending.
+            // Book them anyway so traffic statistics account every send.
+            self.flush_sends();
         }
         if self.live > 0 {
             // The machine halted with live processes. If a panic was
@@ -568,69 +717,36 @@ impl<N: Network> Kernel<N> {
                     payload,
                 } => {
                     let sent_at = self.slots[p.0].clock;
-                    let transfer = self.net.transfer(p, dst, wire_bytes, sent_at);
-                    debug_assert!(transfer.sender_free >= sent_at);
-                    debug_assert!(transfer.arrival >= sent_at);
-                    {
+                    if let Some(obs) = self.observer.as_mut() {
+                        obs.on_send_posted(p, dst, wire_bytes, sent_at);
+                    }
+                    let sender_free = self.net.sender_free(wire_bytes, sent_at);
+                    debug_assert!(sender_free >= sent_at);
+                    let send_idx = {
                         let slot = &mut self.slots[p.0];
+                        let idx = slot.stats.msgs_sent;
                         slot.stats.msgs_sent += 1;
                         slot.stats.bytes_sent += wire_bytes;
-                        slot.stats.send_overhead += transfer.sender_free.since(sent_at);
-                        slot.clock = transfer.sender_free;
-                    }
+                        slot.stats.send_overhead += sender_free.since(sent_at);
+                        slot.clock = sender_free;
+                        idx
+                    };
                     self.kstats.messages += 1;
                     self.kstats.bytes += wire_bytes;
-                    if let Some(trace) = self.trace.as_mut() {
-                        trace.message(p, dst, tag, wire_bytes, sent_at, transfer.arrival);
-                    }
-                    let msg_seq = self.msg_seq;
-                    self.msg_seq += 1;
-                    let msg = Message {
-                        seq: msg_seq,
+                    // The stateful part (link booking, faults, delivery) is
+                    // deferred to the timestamp boundary — see
+                    // [`Kernel::flush_sends`] — so the sender resumes now
+                    // knowing only its own overhead.
+                    self.pending_sends.push(PendingSend {
                         src: p,
+                        dst,
                         tag,
                         wire_bytes,
                         sent_at,
-                        arrived_at: transfer.arrival,
+                        sender_free,
+                        send_idx,
                         payload,
-                    };
-                    if let Some(obs) = self.observer.as_mut() {
-                        obs.on_send(dst, &msg);
-                        obs.on_sender_free(p, msg_seq, transfer.sender_free);
-                    }
-                    if self.net.faults_enabled() {
-                        let disposition = self
-                            .net
-                            .fault_disposition(p, dst, tag, wire_bytes, sent_at, &transfer);
-                        if let Some(kind) = disposition.kind {
-                            match kind {
-                                FaultKind::Drop => self.kstats.faults_dropped += 1,
-                                FaultKind::Duplicate => self.kstats.faults_duplicated += 1,
-                                FaultKind::Delay => self.kstats.faults_delayed += 1,
-                            }
-                            if let Some(obs) = self.observer.as_mut() {
-                                obs.on_fault(&FaultEvent {
-                                    kind,
-                                    src: p,
-                                    dst,
-                                    seq: msg_seq,
-                                    tag,
-                                    at: sent_at,
-                                    cause: disposition.cause,
-                                });
-                            }
-                        }
-                        // Fault copies share the payload `Arc`; only the
-                        // message header is duplicated per arrival.
-                        for &arrival in &disposition.arrivals {
-                            debug_assert!(arrival >= sent_at);
-                            let mut copy = msg.clone();
-                            copy.arrived_at = arrival;
-                            self.schedule(arrival, EventKind::Deliver(dst, copy));
-                        }
-                    } else {
-                        self.schedule(transfer.arrival, EventKind::Deliver(dst, msg));
-                    }
+                    });
                     let clock = self.slots[p.0].clock;
                     if !self.send_grant(p, Grant::Proceed(clock)) {
                         return;
@@ -840,7 +956,10 @@ fn find_wait_cycle(procs: &[(usize, WaitState)]) -> Vec<usize> {
         loop {
             if color[cur] == 1 {
                 // Found a cycle: the suffix of `path` starting at `cur`.
-                let pos = path.iter().position(|&r| r == cur).unwrap();
+                let pos = path
+                    .iter()
+                    .position(|&r| r == cur)
+                    .expect("a node colored on-walk is on the current path");
                 return path[pos..].to_vec();
             }
             if color[cur] == 2 {

@@ -44,9 +44,11 @@ mod message;
 mod network;
 mod observe;
 mod process;
+pub mod sync;
 mod time;
 mod trace;
 
+pub use equeue::TieBreak;
 pub use error::{format_filter, PendingMessage, ProcFailure, SimError, WaitState};
 pub use kernel::{HotProfile, KernelStats, ProcStats, RunOutcome, Sim};
 pub use message::{Filter, Message, Payload, Tag, TagFilter};

@@ -21,7 +21,7 @@
 //! ids whose message is gone. Both removal orders are deterministic, so the
 //! scan-work counters fed into [`crate::HotProfile`] are too.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::message::{Filter, Message, TagFilter};
 
@@ -40,9 +40,11 @@ pub(crate) struct Mailbox {
     /// Arrival slot → message; iteration order is arrival order.
     msgs: BTreeMap<u64, Message>,
     /// Tag → arrival slots of that tag's parked messages, oldest first.
-    /// May contain stale ids (lazily discarded); never iterated as a map,
-    /// so the `HashMap`'s nondeterministic order is unobservable.
-    by_tag: HashMap<u32, VecDeque<u64>>,
+    /// May contain stale ids (lazily discarded). A `BTreeMap` so that even
+    /// an (accidental) future iteration over the index would see a defined
+    /// order — `HashMap` order leaking into simulation state is exactly the
+    /// hazard class `numagap audit` rule ND001 exists to catch.
+    by_tag: BTreeMap<u32, VecDeque<u64>>,
     next_slot: u64,
 }
 

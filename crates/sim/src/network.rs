@@ -124,6 +124,20 @@ pub trait Network: Send + 'static {
     /// `now`, updating internal link state.
     fn transfer(&mut self, src: ProcId, dst: ProcId, wire_bytes: u64, now: SimTime) -> Transfer;
 
+    /// When the sender's CPU becomes free after handing a `wire_bytes`-byte
+    /// message to the network at `now` — the sender-side software cost of
+    /// the eventual [`Network::transfer`] call, computed *without* touching
+    /// link state. The kernel resumes the sender from this value immediately
+    /// and defers the link booking itself to the end of the timestamp, where
+    /// bookings are replayed in canonical `(departure, rank, send index)`
+    /// order so contention arbitration cannot observe event tiebreak order.
+    /// Must equal the `sender_free` field of the `Transfer` later returned
+    /// for the same message. Defaults to `now` (no sender-side overhead).
+    fn sender_free(&self, wire_bytes: u64, now: SimTime) -> SimTime {
+        let _ = wire_bytes;
+        now
+    }
+
     /// Number of processor endpoints this network connects.
     fn num_procs(&self) -> usize;
 

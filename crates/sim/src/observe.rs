@@ -23,8 +23,25 @@ use crate::ProcId;
 /// `on_send` always precedes its `on_recv_matched`, and `on_finish` (if the
 /// run completes) follows every other event.
 pub trait Observer: Send {
+    /// Process `src` executed a send of `wire_bytes` to `dst` at virtual
+    /// time `now`. Fires at the moment the sending rank performs the call —
+    /// in the rank's program order — *before* the message's sequence number
+    /// or arrival are known: the kernel defers link booking to the end of
+    /// the timestamp (see [`Observer::on_send`]). Recorders that need each
+    /// send's position in its rank's op stream anchor it here and fill in
+    /// the sequence number when `on_send` fires.
+    fn on_send_posted(&mut self, src: ProcId, dst: ProcId, wire_bytes: u64, now: SimTime) {
+        let _ = (src, dst, wire_bytes, now);
+    }
+
     /// A message was handed to the network. `msg.seq` uniquely identifies it
-    /// for later correlation with [`Observer::on_recv_matched`].
+    /// for later correlation with [`Observer::on_recv_matched`]. Fires when
+    /// the kernel books the transfer at the timestamp boundary, in canonical
+    /// `(departure, rank, send index)` order — which is each rank's program
+    /// order when restricted to that rank's sends, but interleaves *across*
+    /// ranks independently of execution order, and runs after any
+    /// same-timestamp [`Observer::on_compute`] / [`Observer::on_recv_posted`]
+    /// callbacks from the sending rank.
     fn on_send(&mut self, dst: ProcId, msg: &Message) {
         let _ = (dst, msg);
     }

@@ -1,0 +1,27 @@
+//! Synchronization facade: `std::sync` normally, `loom` under `--cfg loom`.
+//!
+//! **Rule: every synchronization primitive used on the simulator's
+//! kernel↔process control path must be imported from this module, never
+//! from `std` directly.** A build with `RUSTFLAGS='--cfg loom'` swaps
+//! these re-exports for the vendored `loom` model checker, which
+//! exhaustively explores every interleaving of lock/condvar/yield
+//! operations — that is how the [`crate::handoff`] rendezvous is proven
+//! free of lost wakeups and deadlocks (`cargo test -p numagap-sim --lib
+//! loom_` under that flag, run by CI's model-check job). A primitive that
+//! bypasses the facade is invisible to the checker and voids the proof.
+//!
+//! Normal builds compile to direct `std` re-exports with zero overhead.
+
+#[cfg(loom)]
+pub use loom::hint::spin_loop;
+#[cfg(loom)]
+pub use loom::sync::{Condvar, Mutex, MutexGuard};
+#[cfg(loom)]
+pub use loom::thread::yield_now;
+
+#[cfg(not(loom))]
+pub use std::hint::spin_loop;
+#[cfg(not(loom))]
+pub use std::sync::{Condvar, Mutex, MutexGuard};
+#[cfg(not(loom))]
+pub use std::thread::yield_now;

@@ -1,0 +1,757 @@
+//! Offline stand-in for the `loom` model checker.
+//!
+//! The build environment has no route to crates.io, so this crate
+//! reimplements the slice of loom's API the workspace uses:
+//! [`model`], [`sync::Mutex`], [`sync::Condvar`], [`thread::spawn`] /
+//! [`thread::JoinHandle`], [`thread::yield_now`] and [`hint::spin_loop`].
+//!
+//! # How it works
+//!
+//! [`model`] runs the closure once per *schedule*. Each run spawns real OS
+//! threads, but a cooperative scheduler serializes them: exactly one thread
+//! executes at a time, and control transfers only at synchronization
+//! operations (lock, try-lock, condvar wait/notify, join, yield, thread
+//! exit). At every transfer where more than one thread is runnable, the
+//! scheduler consults a decision path; a depth-first search over those
+//! decisions enumerates **every** interleaving of synchronization
+//! operations. Because all cross-thread state in a well-formed test is
+//! reached only through these primitives, exploring all sync-op
+//! interleavings explores all observably distinct executions.
+//!
+//! Semantics chosen to be adversarial for wakeup bugs:
+//!
+//! * Condvars never wake spuriously — a waiter runs again only after a
+//!   `notify`. A protocol that relies on spurious wakeups to avoid a lost
+//!   wakeup therefore deadlocks here, which is the conservative direction
+//!   for proving wakeup-safety.
+//! * `notify_one` wakes the longest-waiting thread (FIFO).
+//! * A state where no thread is runnable and not all threads have finished
+//!   is reported as a deadlock, with the schedule that reached it.
+//!
+//! Differences from real loom: no atomics/`UnsafeCell` access tracking, no
+//! `Arc` modeling (re-exported from `std`), no preemption bounding — the
+//! search is exhaustive, so keep spin loops short under `cfg(loom)`.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc as StdArc, Condvar as StdCondvar, Mutex as StdMutex};
+
+/// Hard cap on schedules explored per [`model`] call; exceeding it means
+/// the test has too many choice points (e.g. a long spin loop) and would
+/// effectively never terminate.
+const MAX_SCHEDULES: u64 = 1_000_000;
+
+/// Sentinel "no thread" id.
+const NONE: usize = usize::MAX;
+
+/// Panic payload used to unwind threads out of an aborted execution. Never
+/// reported as a failure itself; the first real failure is.
+struct AbortUnwind;
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum ThreadState {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedCondvar(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct Sched {
+    threads: Vec<ThreadState>,
+    /// The one thread allowed to execute, or [`NONE`] when the run is over.
+    current: usize,
+    /// Per-mutex owner thread, `None` when unlocked.
+    mutexes: Vec<Option<usize>>,
+    /// Per-condvar FIFO wait queue.
+    condvars: Vec<VecDeque<usize>>,
+    /// Choices to replay (branching points only), from the DFS driver.
+    preset: Vec<usize>,
+    cursor: usize,
+    /// `(choice, options)` actually taken at each branching point this run.
+    recorded: Vec<(usize, usize)>,
+    aborted: bool,
+    failure: Option<String>,
+}
+
+struct Exec {
+    sched: StdMutex<Sched>,
+    cv: StdCondvar,
+    handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CURRENT_EXEC: RefCell<Option<StdArc<Exec>>> = const { RefCell::new(None) };
+    static CURRENT_ID: Cell<usize> = const { Cell::new(NONE) };
+}
+
+fn current_exec() -> StdArc<Exec> {
+    CURRENT_EXEC.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("loom primitive used outside loom::model")
+    })
+}
+
+fn current_id() -> usize {
+    let id = CURRENT_ID.get();
+    assert!(id != NONE, "loom primitive used outside loom::model");
+    id
+}
+
+fn payload_str(p: &(dyn Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+type Guard<'a> = std::sync::MutexGuard<'a, Sched>;
+
+impl Exec {
+    fn new(preset: Vec<usize>) -> Self {
+        Exec {
+            sched: StdMutex::new(Sched {
+                threads: Vec::new(),
+                current: NONE,
+                mutexes: Vec::new(),
+                condvars: Vec::new(),
+                preset,
+                cursor: 0,
+                recorded: Vec::new(),
+                aborted: false,
+                failure: None,
+            }),
+            cv: StdCondvar::new(),
+            handles: StdMutex::new(Vec::new()),
+        }
+    }
+
+    /// Locks the scheduler, surviving poisoning (a panicking thread may
+    /// still hold the guard for an instant during unwinding).
+    fn lock(&self) -> Guard<'_> {
+        self.sched.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn register_thread(&self) -> usize {
+        let mut g = self.lock();
+        g.threads.push(ThreadState::Runnable);
+        g.threads.len() - 1
+    }
+
+    fn register_mutex(&self) -> usize {
+        let mut g = self.lock();
+        g.mutexes.push(None);
+        g.mutexes.len() - 1
+    }
+
+    fn register_condvar(&self) -> usize {
+        let mut g = self.lock();
+        g.condvars.push(VecDeque::new());
+        g.condvars.len() - 1
+    }
+
+    fn mark_failed(&self, g: &mut Sched, msg: String) {
+        g.aborted = true;
+        if g.failure.is_none() {
+            g.failure = Some(msg);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Picks the next thread to run among the runnable set; branching points
+    /// (more than one option) consume one DFS decision. `Err` means the
+    /// execution aborted (deadlock detected here, or a failure elsewhere).
+    fn pick_next(&self, g: &mut Sched) -> Result<(), ()> {
+        if g.aborted {
+            return Err(());
+        }
+        let runnable: Vec<usize> = g
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == ThreadState::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if g.threads.iter().all(|s| *s == ThreadState::Finished) {
+                g.current = NONE;
+                self.cv.notify_all();
+                return Ok(());
+            }
+            let msg = format!(
+                "loom: deadlock — no runnable thread; states: {:?}; schedule: {:?}",
+                g.threads, g.recorded
+            );
+            self.mark_failed(g, msg);
+            return Err(());
+        }
+        let n = runnable.len();
+        let choice = if n == 1 {
+            0
+        } else {
+            let c = if g.cursor < g.preset.len() {
+                g.preset[g.cursor]
+            } else {
+                0
+            };
+            g.cursor += 1;
+            assert!(c < n, "loom: schedule replay diverged");
+            g.recorded.push((c, n));
+            c
+        };
+        g.current = runnable[choice];
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Blocks the calling OS thread until the scheduler hands it control.
+    fn wait_turn_locked<'a>(&'a self, mut g: Guard<'a>, me: usize) -> Guard<'a> {
+        while g.current != me {
+            if g.aborted {
+                drop(g);
+                std::panic::panic_any(AbortUnwind);
+            }
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        g
+    }
+
+    fn wait_turn(&self, me: usize) {
+        let g = self.lock();
+        let _g = self.wait_turn_locked(g, me);
+    }
+
+    /// The choice point: records `me`'s new state, lets the scheduler pick
+    /// who runs next, and returns once `me` is scheduled again.
+    fn switch(&self, me: usize, state: ThreadState) {
+        let mut g = self.lock();
+        if g.aborted {
+            drop(g);
+            std::panic::panic_any(AbortUnwind);
+        }
+        g.threads[me] = state;
+        if self.pick_next(&mut g).is_err() {
+            drop(g);
+            std::panic::panic_any(AbortUnwind);
+        }
+        let _g = self.wait_turn_locked(g, me);
+    }
+
+    fn mutex_lock(&self, me: usize, mid: usize) {
+        self.switch(me, ThreadState::Runnable);
+        loop {
+            {
+                let mut g = self.lock();
+                if g.mutexes[mid].is_none() {
+                    g.mutexes[mid] = Some(me);
+                    return;
+                }
+                debug_assert!(g.mutexes[mid] != Some(me), "loom: recursive lock");
+            }
+            self.switch(me, ThreadState::BlockedMutex(mid));
+        }
+    }
+
+    fn mutex_try_lock(&self, me: usize, mid: usize) -> bool {
+        self.switch(me, ThreadState::Runnable);
+        let mut g = self.lock();
+        if g.mutexes[mid].is_none() {
+            g.mutexes[mid] = Some(me);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn mutex_unlock(&self, mid: usize) {
+        let mut g = self.lock();
+        g.mutexes[mid] = None;
+        for s in g.threads.iter_mut() {
+            if *s == ThreadState::BlockedMutex(mid) {
+                *s = ThreadState::Runnable;
+            }
+        }
+    }
+
+    /// Atomically releases `mid` and enqueues `me` on condvar `cid`, then
+    /// yields; returns once notified *and* scheduled. The caller reacquires
+    /// the mutex itself. No spurious wakeups.
+    fn condvar_wait(&self, me: usize, cid: usize, mid: usize) {
+        {
+            let mut g = self.lock();
+            g.mutexes[mid] = None;
+            for s in g.threads.iter_mut() {
+                if *s == ThreadState::BlockedMutex(mid) {
+                    *s = ThreadState::Runnable;
+                }
+            }
+            g.condvars[cid].push_back(me);
+        }
+        self.switch(me, ThreadState::BlockedCondvar(cid));
+    }
+
+    fn condvar_notify_one(&self, me: usize, cid: usize) {
+        self.switch(me, ThreadState::Runnable);
+        let mut g = self.lock();
+        if let Some(w) = g.condvars[cid].pop_front() {
+            g.threads[w] = ThreadState::Runnable;
+        }
+    }
+
+    fn condvar_notify_all(&self, me: usize, cid: usize) {
+        self.switch(me, ThreadState::Runnable);
+        let mut g = self.lock();
+        while let Some(w) = g.condvars[cid].pop_front() {
+            g.threads[w] = ThreadState::Runnable;
+        }
+    }
+
+    fn join_wait(&self, me: usize, target: usize) {
+        self.switch(me, ThreadState::Runnable);
+        loop {
+            {
+                let g = self.lock();
+                if g.threads[target] == ThreadState::Finished {
+                    return;
+                }
+            }
+            self.switch(me, ThreadState::BlockedJoin(target));
+        }
+    }
+
+    /// Marks `me` finished, wakes its joiners, and hands control onward.
+    /// Never panics: a finishing thread has nothing left to unwind.
+    fn thread_finished(&self, me: usize) {
+        let mut g = self.lock();
+        g.threads[me] = ThreadState::Finished;
+        for s in g.threads.iter_mut() {
+            if *s == ThreadState::BlockedJoin(me) {
+                *s = ThreadState::Runnable;
+            }
+        }
+        let _ = self.pick_next(&mut g);
+    }
+}
+
+/// Explores every schedule of `f`. Panics with the failing schedule if any
+/// interleaving panics or deadlocks.
+pub fn model<F: Fn()>(f: F) {
+    install_abort_filter();
+    let mut preset: Vec<(usize, usize)> = Vec::new();
+    let mut schedules: u64 = 0;
+    loop {
+        schedules += 1;
+        assert!(
+            schedules <= MAX_SCHEDULES,
+            "loom: more than {MAX_SCHEDULES} schedules; shrink the model \
+             (spin loops must be short under cfg(loom))"
+        );
+        let choices: Vec<usize> = preset.iter().map(|&(c, _)| c).collect();
+        match run_once(&f, choices) {
+            Err(msg) => panic!("loom: model failed after {schedules} schedule(s): {msg}"),
+            Ok(recorded) => {
+                preset = recorded;
+                // DFS backtrack: advance the deepest non-exhausted choice.
+                loop {
+                    match preset.last_mut() {
+                        None => return,
+                        Some(last) if last.0 + 1 < last.1 => {
+                            last.0 += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            preset.pop();
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn run_once<F: Fn()>(f: &F, preset: Vec<usize>) -> Result<Vec<(usize, usize)>, String> {
+    let exec = StdArc::new(Exec::new(preset));
+    let main_id = exec.register_thread();
+    {
+        let mut g = exec.lock();
+        g.current = main_id;
+    }
+    CURRENT_EXEC.with(|c| *c.borrow_mut() = Some(StdArc::clone(&exec)));
+    CURRENT_ID.set(main_id);
+    let r = catch_unwind(AssertUnwindSafe(f));
+    {
+        let mut g = exec.lock();
+        if let Err(p) = &r {
+            if !p.is::<AbortUnwind>() {
+                let msg = format!(
+                    "main thread panicked: {} (schedule: {:?})",
+                    payload_str(p.as_ref()),
+                    g.recorded
+                );
+                exec.mark_failed(&mut g, msg);
+            }
+        }
+        g.threads[main_id] = ThreadState::Finished;
+        for s in g.threads.iter_mut() {
+            if *s == ThreadState::BlockedJoin(main_id) {
+                *s = ThreadState::Runnable;
+            }
+        }
+        let _ = exec.pick_next(&mut g);
+        while !(g.aborted || g.threads.iter().all(|s| *s == ThreadState::Finished)) {
+            g = exec.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+    CURRENT_EXEC.with(|c| *c.borrow_mut() = None);
+    CURRENT_ID.set(NONE);
+    let handles = std::mem::take(&mut *exec.handles.lock().unwrap_or_else(|e| e.into_inner()));
+    for h in handles {
+        let _ = h.join();
+    }
+    let g = exec.lock();
+    match &g.failure {
+        Some(msg) => Err(msg.clone()),
+        None => Ok(g.recorded.clone()),
+    }
+}
+
+/// Suppresses panic-hook output for the internal [`AbortUnwind`] payloads
+/// that tear threads out of an aborted execution; everything else goes to
+/// the previously installed hook.
+fn install_abort_filter() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !info.payload().is::<AbortUnwind>() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+pub mod sync {
+    //! Model-checked replacements for `std::sync` primitives.
+    pub use std::sync::Arc;
+    use std::sync::{LockResult, TryLockError, TryLockResult};
+
+    use super::{current_exec, current_id, UnsafeCell};
+
+    /// A mutex whose lock-acquisition order is a model-checking choice
+    /// point. API-compatible with `std::sync::Mutex` (never poisons).
+    pub struct Mutex<T> {
+        cell: UnsafeCell<T>,
+        id: usize,
+    }
+
+    // Safety: the cooperative scheduler runs exactly one thread at a time,
+    // and the guard protocol keeps accesses exclusive, mirroring std.
+    unsafe impl<T: Send> Send for Mutex<T> {}
+    unsafe impl<T: Send> Sync for Mutex<T> {}
+
+    impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Mutex").finish_non_exhaustive()
+        }
+    }
+
+    impl<T> Mutex<T> {
+        /// Creates a mutex registered with the active model execution.
+        pub fn new(value: T) -> Self {
+            Mutex {
+                cell: UnsafeCell::new(value),
+                id: current_exec().register_mutex(),
+            }
+        }
+
+        /// Acquires the lock, blocking (a schedule choice point).
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            let exec = current_exec();
+            exec.mutex_lock(current_id(), self.id);
+            Ok(MutexGuard { lock: self })
+        }
+
+        /// Attempts the lock without blocking (a schedule choice point).
+        pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+            let exec = current_exec();
+            if exec.mutex_try_lock(current_id(), self.id) {
+                Ok(MutexGuard { lock: self })
+            } else {
+                Err(TryLockError::WouldBlock)
+            }
+        }
+    }
+
+    /// RAII guard for [`Mutex`]; releases on drop.
+    pub struct MutexGuard<'a, T> {
+        lock: &'a Mutex<T>,
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // Safety: holding the guard means the scheduler granted this
+            // thread exclusive ownership of the mutex.
+            unsafe { &*self.lock.cell.get() }
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            // Safety: as in `deref`.
+            unsafe { &mut *self.lock.cell.get() }
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            current_exec().mutex_unlock(self.lock.id);
+        }
+    }
+
+    /// A condition variable with FIFO wakeup and **no** spurious wakeups —
+    /// the adversarial setting for lost-wakeup proofs.
+    pub struct Condvar {
+        id: usize,
+    }
+
+    impl std::fmt::Debug for Condvar {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Condvar").finish_non_exhaustive()
+        }
+    }
+
+    impl Condvar {
+        /// Creates a condvar registered with the active model execution.
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            Condvar {
+                id: current_exec().register_condvar(),
+            }
+        }
+
+        /// Releases the guard's mutex, sleeps until notified, reacquires.
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            let lock = guard.lock;
+            std::mem::forget(guard);
+            let exec = current_exec();
+            let me = current_id();
+            exec.condvar_wait(me, self.id, lock.id);
+            exec.mutex_lock(me, lock.id);
+            Ok(MutexGuard { lock })
+        }
+
+        /// Wakes the longest-waiting thread, if any (a choice point).
+        pub fn notify_one(&self) {
+            current_exec().condvar_notify_one(current_id(), self.id);
+        }
+
+        /// Wakes every waiting thread (a choice point).
+        pub fn notify_all(&self) {
+            current_exec().condvar_notify_all(current_id(), self.id);
+        }
+    }
+}
+
+pub mod thread {
+    //! Model-checked replacements for `std::thread` operations.
+    use std::marker::PhantomData;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Arc as StdArc, Mutex as StdMutex};
+
+    use super::{current_exec, current_id, payload_str, AbortUnwind, CURRENT_EXEC, CURRENT_ID};
+
+    type ResultSlot<T> = StdArc<StdMutex<Option<std::thread::Result<T>>>>;
+
+    /// Handle to a model-checked thread; joining is a schedule choice point.
+    pub struct JoinHandle<T> {
+        id: usize,
+        result: ResultSlot<T>,
+        _not_send: PhantomData<*const ()>,
+    }
+
+    impl<T> std::fmt::Debug for JoinHandle<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("JoinHandle").field("id", &self.id).finish()
+        }
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish and returns its result, mirroring
+        /// `std::thread::JoinHandle::join`.
+        pub fn join(self) -> std::thread::Result<T> {
+            let exec = current_exec();
+            exec.join_wait(current_id(), self.id);
+            let slot = self.result.lock().unwrap_or_else(|e| e.into_inner()).take();
+            slot.expect("loom: joined thread finished without a result")
+        }
+    }
+
+    /// Spawns a thread under the scheduler; it runs only when scheduled.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let exec = current_exec();
+        let id = exec.register_thread();
+        let result: ResultSlot<T> = StdArc::new(StdMutex::new(None));
+        let slot = StdArc::clone(&result);
+        let exec2 = StdArc::clone(&exec);
+        let handle = std::thread::spawn(move || {
+            CURRENT_EXEC.with(|c| *c.borrow_mut() = Some(StdArc::clone(&exec2)));
+            CURRENT_ID.set(id);
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                exec2.wait_turn(id);
+                f()
+            }));
+            match r {
+                Ok(v) => {
+                    *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(Ok(v));
+                }
+                Err(p) => {
+                    if !p.is::<AbortUnwind>() {
+                        let mut g = exec2.lock();
+                        let msg = format!(
+                            "thread {id} panicked: {} (schedule: {:?})",
+                            payload_str(p.as_ref()),
+                            g.recorded
+                        );
+                        exec2.mark_failed(&mut g, msg);
+                    }
+                    *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(Err(p));
+                }
+            }
+            exec2.thread_finished(id);
+        });
+        exec.handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(handle);
+        JoinHandle {
+            id,
+            result,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Cooperative yield: a pure schedule choice point.
+    pub fn yield_now() {
+        current_exec().switch(current_id(), super::ThreadState::Runnable);
+    }
+}
+
+pub mod hint {
+    //! Model-checked replacements for `std::hint`.
+
+    /// No-op under the model: a spin iteration has no synchronization
+    /// semantics, and the surrounding `try_lock`/`yield_now` calls are
+    /// already choice points. Keeping it free keeps the schedule space
+    /// small, so spin loops need not be fully removed under `cfg(loom)`
+    /// (though they should be short).
+    pub fn spin_loop() {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::{Arc, Condvar, Mutex};
+    use super::thread;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn explores_both_orders_of_two_lock_holders() {
+        // Record which thread got the lock first across all schedules; both
+        // orders must be observed.
+        let first_a = std::sync::Arc::new(AtomicU64::new(0));
+        let first_b = std::sync::Arc::new(AtomicU64::new(0));
+        let (fa, fb) = (
+            std::sync::Arc::clone(&first_a),
+            std::sync::Arc::clone(&first_b),
+        );
+        super::model(move || {
+            let m = Arc::new(Mutex::new(Vec::new()));
+            let m2 = Arc::clone(&m);
+            let t = thread::spawn(move || {
+                m2.lock().unwrap().push('a');
+            });
+            m.lock().unwrap().push('b');
+            t.join().unwrap();
+            let order = m.lock().unwrap().clone();
+            match order[0] {
+                'a' => fa.fetch_add(1, Ordering::Relaxed),
+                _ => fb.fetch_add(1, Ordering::Relaxed),
+            };
+        });
+        assert!(first_a.load(Ordering::Relaxed) > 0, "never saw a-first");
+        assert!(first_b.load(Ordering::Relaxed) > 0, "never saw b-first");
+    }
+
+    #[test]
+    fn correct_condvar_protocol_passes() {
+        super::model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let pair2 = Arc::clone(&pair);
+            let t = thread::spawn(move || {
+                let (m, cv) = &*pair2;
+                let mut ready = m.lock().unwrap();
+                *ready = true;
+                cv.notify_one();
+                drop(ready);
+            });
+            let (m, cv) = &*pair;
+            let mut ready = m.lock().unwrap();
+            while !*ready {
+                ready = cv.wait(ready).unwrap();
+            }
+            drop(ready);
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn lost_wakeup_bug_is_caught_as_deadlock() {
+        // Broken protocol: the waiter decides to wait based on a stale read
+        // made *outside* the lock it waits under, so the notify can land in
+        // the window between the check and the wait — with no spurious
+        // wakeups, that schedule deadlocks and the model must report it.
+        let r = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let pair = Arc::new((Mutex::new(false), Condvar::new()));
+                let pair2 = Arc::clone(&pair);
+                let _t = thread::spawn(move || {
+                    let (m, cv) = &*pair2;
+                    *m.lock().unwrap() = true;
+                    cv.notify_one();
+                });
+                let (m, cv) = &*pair;
+                let stale = *m.lock().unwrap(); // guard dropped: race window opens
+                if !stale {
+                    let g = m.lock().unwrap();
+                    drop(cv.wait(g).unwrap());
+                }
+            });
+        });
+        let err = r.expect_err("the lost-wakeup schedule must be found");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+    }
+
+    #[test]
+    fn assertion_failures_surface_with_a_schedule() {
+        let r = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let t = thread::spawn(|| panic!("intentional"));
+                let _ = t.join();
+            });
+        });
+        let err = r.expect_err("panic must surface");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("intentional"), "unexpected failure: {msg}");
+    }
+}
