@@ -180,6 +180,13 @@ pub const WAIVERS: &[Waiver] = &[
         reason: "wall-clock stopwatch around whole experiment cells for throughput \
                  reporting; virtual results never read it",
     },
+    Waiver {
+        rule: "ND002",
+        path_suffix: "bench/src/hostile.rs",
+        token: "Instant::now",
+        reason: "wall-clock stopwatch around hostile scorecard cells, recorded as \
+                 wall_s only; the scorecard and compare gate read virtual fields",
+    },
     // ── ND005: reductions over index-ordered slices ──
     Waiver {
         rule: "ND005",

@@ -10,6 +10,7 @@
 //! | `fig1_traffic` | Figure 1 (inter-cluster volume vs message rate) |
 //! | `fig3_sweep` | Figure 3 (12 panels of relative speedup vs bandwidth × latency) |
 //! | `fig4_comm_time` | Figure 4 (communication time vs bandwidth / latency) |
+//! | `hostile` | hostile-network robustness scorecard (slow clusters, cross-traffic, diurnal WAN) |
 //! | `cluster_structure` | §5.1 cluster-structure experiment (8x4 vs 4x8 ...) |
 //! | `magpie_bench` | §6 MagPIe collectives vs flat (up to 10x) |
 //! | `micro` | Criterion microbenchmarks of the simulator itself |
@@ -38,6 +39,7 @@ use numagap_rt::Machine;
 use numagap_sim::SimDuration;
 
 pub mod engine;
+pub mod hostile;
 pub mod json;
 pub mod record;
 pub mod selfperf;

@@ -26,7 +26,7 @@ use crate::{
 };
 
 /// Every engine-backed target, in the order `--target all` runs them.
-pub const TARGETS: [&str; 4] = ["table1", "fig1", "fig3", "fig4"];
+pub const TARGETS: [&str; 5] = ["table1", "fig1", "fig3", "fig4", "hostile"];
 
 /// Options for one engine-backed sweep.
 #[derive(Debug, Clone)]
@@ -84,6 +84,7 @@ pub fn run_target(name: &str, opts: &SweepOpts) -> Result<BenchSummary, BenchErr
         "fig1" => run_fig1(opts),
         "fig3" => run_fig3(opts),
         "fig4" => run_fig4(opts),
+        "hostile" => crate::hostile::run_hostile(opts),
         other => Err(BenchError::Sim(format!(
             "unknown bench target '{other}' (expected one of {})",
             TARGETS.join(", ")

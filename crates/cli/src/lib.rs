@@ -7,9 +7,10 @@
 //! numagap suite [machine flags]          # all six apps, both variants
 //! numagap check [--app X] [--perturb] [machine flags]  # communication sanitizer
 //! numagap audit [--root DIR] [--rules]   # determinism static analysis
-//! numagap soak [--app X ...] [machine flags]  # fault-injection sweeps
+//! numagap soak [--app X ...] [machine flags]  # fault/hostile scenario matrix
 //! numagap bench [--target T] [--jobs N]  # parallel experiment engine
 //! numagap bench --compare OLD NEW        # diff two BENCH_*.json summaries
+//! numagap hostile [--jobs N]             # hostile-network robustness scorecard
 //! numagap selfperf [--quick] [--jobs N]  # profile the simulator hot path
 //! numagap info [machine flags]           # print the machine and its gap
 //! numagap help
@@ -36,7 +37,10 @@ use numagap_bench::engine;
 use numagap_bench::record::{compare, BenchSummary, CompareOpts};
 use numagap_bench::targets::{run_target, SweepOpts, TARGETS};
 use numagap_model::{run_predict, PredictOpts};
-use numagap_net::{das_spec, numa_gap, FaultPlan, TwoLayerSpec};
+use numagap_net::{
+    numa_gap, CrossTrafficPlan, FaultPlan, HeteroPreset, LinkParams, LinkSchedule, Topology,
+    TwoLayerSpec,
+};
 use numagap_rt::{Machine, TransportConfig};
 use numagap_sim::{SimDuration, SimTime, TieBreak};
 
@@ -69,6 +73,9 @@ pub enum Command {
     /// Profile the simulator's own hot path (handoff, event queue, mailbox,
     /// payload sharing) with synthetic micro-benchmarks.
     Selfperf(SelfperfArgs),
+    /// Run the hostile-network scenario matrix and print the robustness
+    /// scorecard (same cells as `bench --target hostile`).
+    Hostile(HostileArgs),
     /// Describe the machine.
     Info(MachineArgs),
     /// Build a real Awari endgame database.
@@ -82,6 +89,45 @@ pub enum Command {
     Help,
 }
 
+/// The time-varying WAN quality shape selected by `--schedule`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleArg {
+    /// Constant link quality (the paper's model).
+    None,
+    /// A triangle wave with per-link phase: quality degrades to the peak
+    /// factors and recovers every `--schedule-period`.
+    Diurnal,
+    /// Full degradation from `--schedule-period` onward.
+    Step,
+    /// Linear drift from pristine to fully degraded over
+    /// `--schedule-period`.
+    Drift,
+}
+
+impl ScheduleArg {
+    /// Parses a CLI name (`none`, `diurnal`, `step`, `drift`).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "none" => Some(ScheduleArg::None),
+            "diurnal" => Some(ScheduleArg::Diurnal),
+            "step" => Some(ScheduleArg::Step),
+            "drift" => Some(ScheduleArg::Drift),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ScheduleArg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ScheduleArg::None => "none",
+            ScheduleArg::Diurnal => "diurnal",
+            ScheduleArg::Step => "step",
+            ScheduleArg::Drift => "drift",
+        })
+    }
+}
+
 /// Machine-shape and fault-injection flags shared by all commands.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MachineArgs {
@@ -89,6 +135,25 @@ pub struct MachineArgs {
     pub clusters: usize,
     /// Processors per cluster.
     pub procs: usize,
+    /// Explicit per-cluster sizes (`--clusters 8,8,4,2`); `None` means the
+    /// symmetric `clusters x procs` layout. When set, `clusters` mirrors
+    /// its length and `procs` is unused.
+    pub cluster_sizes: Option<Vec<usize>>,
+    /// Per-cluster compute-speed preset (`--hetero`).
+    pub hetero: HeteroPreset,
+    /// Seeded cross-traffic intensity (`--cross-traffic`): the long-run
+    /// fraction of each WAN link's bandwidth occupied by background flows;
+    /// 0 disables the plan.
+    pub cross_traffic: f64,
+    /// Time-varying WAN quality shape (`--schedule`).
+    pub schedule: ScheduleArg,
+    /// The schedule's time constant in ms: diurnal period, step onset, or
+    /// drift horizon.
+    pub schedule_period_ms: f64,
+    /// Latency multiplier at full degradation (`--degrade-latency`).
+    pub degrade_latency: f64,
+    /// Bandwidth multiplier at full degradation (`--degrade-bandwidth`).
+    pub degrade_bandwidth: f64,
     /// One-way WAN latency in milliseconds.
     pub latency_ms: f64,
     /// WAN bandwidth in MByte/s.
@@ -113,6 +178,13 @@ impl Default for MachineArgs {
         MachineArgs {
             clusters: 4,
             procs: 8,
+            cluster_sizes: None,
+            hetero: HeteroPreset::Uniform,
+            cross_traffic: 0.0,
+            schedule: ScheduleArg::None,
+            schedule_period_ms: 500.0,
+            degrade_latency: 2.0,
+            degrade_bandwidth: 0.5,
             latency_ms: 10.0,
             bandwidth_mbs: 1.0,
             jitter: 0.0,
@@ -151,15 +223,67 @@ impl MachineArgs {
         Some(plan)
     }
 
-    /// Builds the interconnect spec, including any configured fault plan.
-    pub fn spec(&self) -> TwoLayerSpec {
-        let spec = das_spec(
-            self.clusters,
-            self.procs,
-            self.latency_ms,
-            self.bandwidth_mbs,
+    /// The cluster layout these flags describe, with the hetero preset's
+    /// compute speeds applied.
+    pub fn topology(&self) -> Topology {
+        let topo = match &self.cluster_sizes {
+            Some(sizes) => Topology::new(sizes),
+            None => Topology::symmetric(self.clusters, self.procs),
+        };
+        self.hetero.apply(topo)
+    }
+
+    /// The `--clusters` value reproducing this layout (a plain count, or
+    /// the comma-joined explicit sizes).
+    pub fn clusters_flag(&self) -> String {
+        match &self.cluster_sizes {
+            Some(sizes) => sizes
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            None => self.clusters.to_string(),
+        }
+    }
+
+    /// The link schedule for an explicit shape and seed, using this
+    /// machine's period and degradation factors. `None` for
+    /// [`ScheduleArg::None`].
+    pub fn schedule_for(&self, shape: ScheduleArg, seed: u64) -> Option<LinkSchedule> {
+        let period = SimDuration::from_millis_f64(self.schedule_period_ms);
+        let at = SimTime::from_nanos(period.as_nanos());
+        let schedule = match shape {
+            ScheduleArg::None => return None,
+            ScheduleArg::Diurnal => LinkSchedule::diurnal(seed, period),
+            ScheduleArg::Step => LinkSchedule::step(seed, at),
+            ScheduleArg::Drift => LinkSchedule::drift(seed, at),
+        };
+        Some(
+            schedule
+                .latency_factor(self.degrade_latency)
+                .bandwidth_factor(self.degrade_bandwidth),
         )
-        .wan_latency_jitter(self.jitter);
+    }
+
+    /// The time-varying WAN schedule these flags describe, if any.
+    pub fn link_schedule(&self) -> Option<LinkSchedule> {
+        self.schedule_for(self.schedule, self.seed.unwrap_or(0))
+    }
+
+    /// Builds the interconnect spec, including any configured hostile
+    /// plans (cross-traffic, link schedule) and fault plan.
+    pub fn spec(&self) -> TwoLayerSpec {
+        let mut spec = TwoLayerSpec::new(self.topology())
+            .inter(LinkParams::wide_area(self.latency_ms, self.bandwidth_mbs))
+            .wan_latency_jitter(self.jitter);
+        if self.cross_traffic > 0.0 {
+            spec = spec.cross_traffic(
+                CrossTrafficPlan::new(self.seed.unwrap_or(0)).intensity(self.cross_traffic),
+            );
+        }
+        if let Some(schedule) = self.link_schedule() {
+            spec = spec.link_schedule(schedule);
+        }
         match self.fault_plan() {
             Some(plan) => spec.fault_plan(plan),
             None => spec,
@@ -241,6 +365,13 @@ pub struct SoakArgs {
     /// Fault intensities to sweep: each cell runs with `drop = i`,
     /// `duplicate = i/2`, `reorder = i/2`.
     pub intensities: Vec<f64>,
+    /// Cross-traffic intensities to sweep (`--cross-traffic 0,0.4`);
+    /// `[0.0]` keeps the classic fault-only matrix.
+    pub cross_traffic: Vec<f64>,
+    /// WAN-quality schedule shapes to sweep (`--schedule none,step`).
+    pub schedules: Vec<ScheduleArg>,
+    /// Heterogeneity presets to sweep (`--hetero uniform,slow-home`).
+    pub hetero: Vec<HeteroPreset>,
     /// Seeds per (app, intensity) cell, counting up from the base seed.
     pub seeds: u64,
     /// Re-run every cell with the same seed and require a bit-identical
@@ -286,6 +417,21 @@ pub struct SelfperfArgs {
     pub jobs: Option<usize>,
     /// Use the coarse quick cells (`REPRO_QUICK=1` also enables this) — the
     /// grid the committed CI baseline is recorded at.
+    pub quick: bool,
+    /// Output directory (`REPRO_OUT` / `bench_results` when unset).
+    pub out: Option<String>,
+}
+
+/// Flags of the `hostile` command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostileArgs {
+    /// Worker threads (`REPRO_JOBS` / available parallelism when unset).
+    pub jobs: Option<usize>,
+    /// Problem scale (`REPRO_SCALE`, default medium, when unset). The
+    /// committed CI baseline is recorded at `--scale small`.
+    pub scale: Option<Scale>,
+    /// Recorded in the summary for `--compare` grid matching; the scenario
+    /// matrix itself is fixed.
     pub quick: bool,
     /// Output directory (`REPRO_OUT` / `bench_results` when unset).
     pub out: Option<String>,
@@ -413,6 +559,9 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
     let mut trace = None;
     let mut stones = 4u32;
     let mut intensities = vec![0.05, 0.15];
+    let mut cross_list = vec![0.0f64];
+    let mut schedule_list = vec![ScheduleArg::None];
+    let mut hetero_list = vec![HeteroPreset::Uniform];
     let mut seeds = 3u64;
     let mut repro = false;
     let mut timeout_s = 3600u64;
@@ -436,7 +585,28 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             "--app" => apps.push(parse_app(take_value(flag, &mut it)?)?),
             "--variant" => variant = Some(parse_variant(take_value(flag, &mut it)?)?),
             "--scale" => scale = Some(parse_scale(take_value(flag, &mut it)?)?),
-            "--clusters" => machine.clusters = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--clusters" => {
+                let v = take_value(flag, &mut it)?;
+                if v.contains(',') {
+                    let sizes = v
+                        .split(',')
+                        .map(|s| parse_num::<usize>(flag, s))
+                        .collect::<Result<Vec<usize>, ParseError>>()?;
+                    if sizes.contains(&0) {
+                        return Err(ParseError(format!(
+                            "--clusters sizes must all be at least 1, got '{v}'"
+                        )));
+                    }
+                    machine.clusters = sizes.len();
+                    machine.cluster_sizes = Some(sizes);
+                } else {
+                    machine.clusters = parse_num(flag, v)?;
+                    if machine.clusters == 0 {
+                        return Err(ParseError("--clusters must be at least 1".into()));
+                    }
+                    machine.cluster_sizes = None;
+                }
+            }
             "--procs" => machine.procs = parse_num(flag, take_value(flag, &mut it)?)?,
             "--latency" => machine.latency_ms = parse_num(flag, take_value(flag, &mut it)?)?,
             "--bandwidth" => machine.bandwidth_mbs = parse_num(flag, take_value(flag, &mut it)?)?,
@@ -465,6 +635,76 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                         Ok(i)
                     })
                     .collect::<Result<Vec<f64>, ParseError>>()?;
+            }
+            "--cross-traffic" => {
+                cross_list = take_value(flag, &mut it)?
+                    .split(',')
+                    .map(|v| {
+                        let c: f64 = parse_num(flag, v)?;
+                        if !(0.0..=0.9).contains(&c) {
+                            return Err(ParseError(format!(
+                                "cross-traffic intensity must be in [0, 0.9], got {c}"
+                            )));
+                        }
+                        Ok(c)
+                    })
+                    .collect::<Result<Vec<f64>, ParseError>>()?;
+                machine.cross_traffic = *cross_list.last().expect("split is non-empty");
+            }
+            "--schedule" => {
+                schedule_list = take_value(flag, &mut it)?
+                    .split(',')
+                    .map(|s| {
+                        ScheduleArg::parse(s).ok_or_else(|| {
+                            ParseError(format!(
+                                "unknown schedule shape '{s}' (expected none, diurnal, \
+                                 step, drift)"
+                            ))
+                        })
+                    })
+                    .collect::<Result<Vec<ScheduleArg>, ParseError>>()?;
+                machine.schedule = *schedule_list.last().expect("split is non-empty");
+            }
+            "--schedule-period" => {
+                let p: f64 = parse_num(flag, take_value(flag, &mut it)?)?;
+                if !p.is_finite() || p <= 0.0 {
+                    return Err(ParseError(format!(
+                        "--schedule-period must be a positive number of ms, got {p}"
+                    )));
+                }
+                machine.schedule_period_ms = p;
+            }
+            "--degrade-latency" => {
+                let f: f64 = parse_num(flag, take_value(flag, &mut it)?)?;
+                if !f.is_finite() || !(1.0..=100.0).contains(&f) {
+                    return Err(ParseError(format!(
+                        "--degrade-latency must be in [1, 100], got {f}"
+                    )));
+                }
+                machine.degrade_latency = f;
+            }
+            "--degrade-bandwidth" => {
+                let f: f64 = parse_num(flag, take_value(flag, &mut it)?)?;
+                if !f.is_finite() || !(0.01..=1.0).contains(&f) {
+                    return Err(ParseError(format!(
+                        "--degrade-bandwidth must be in [0.01, 1], got {f}"
+                    )));
+                }
+                machine.degrade_bandwidth = f;
+            }
+            "--hetero" => {
+                hetero_list = take_value(flag, &mut it)?
+                    .split(',')
+                    .map(|s| {
+                        HeteroPreset::parse(s).ok_or_else(|| {
+                            ParseError(format!(
+                                "unknown hetero preset '{s}' (expected uniform, \
+                                 slow-home, tiered)"
+                            ))
+                        })
+                    })
+                    .collect::<Result<Vec<HeteroPreset>, ParseError>>()?;
+                machine.hetero = *hetero_list.last().expect("split is non-empty");
             }
             "--seeds" => seeds = parse_num(flag, take_value(flag, &mut it)?)?,
             "--repro" => repro = true,
@@ -582,6 +822,9 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             scale: scale.unwrap_or(Scale::Small),
             machine,
             intensities,
+            cross_traffic: cross_list,
+            schedules: schedule_list,
+            hetero: hetero_list,
             seeds,
             repro,
             timeout_s,
@@ -599,6 +842,12 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             virtual_only,
         })),
         "selfperf" => Ok(Command::Selfperf(SelfperfArgs { jobs, quick, out })),
+        "hostile" => Ok(Command::Hostile(HostileArgs {
+            jobs,
+            scale,
+            quick,
+            out,
+        })),
         "predict" => Ok(Command::Predict(PredictArgs {
             apps,
             variant,
@@ -631,6 +880,7 @@ USAGE:
   numagap bench [--target <name>] [BENCH OPTIONS]
   numagap bench --compare <OLD.json> <NEW.json> [--threshold <F>] [--virtual-only]
   numagap selfperf [--quick] [--jobs <N>] [--out <dir>]
+  numagap hostile [--scale <s>] [--jobs <N>] [--out <dir>]
   numagap predict [--app <name> ...] [--validate] [PREDICT OPTIONS]
   numagap info  [MACHINE OPTIONS]
   numagap help
@@ -642,11 +892,31 @@ RUN OPTIONS:
   --trace <file.json>        write a Chrome trace (chrome://tracing)
 
 MACHINE OPTIONS:
-  --clusters <N>             number of clusters         [default: 4]
+  --clusters <N | a,b,..>    number of clusters, or explicit per-cluster
+                             sizes like 8,8,4,2 (asymmetric) [default: 4]
   --procs <N>                processors per cluster     [default: 8]
+                             (ignored when --clusters lists sizes)
   --latency <ms>             one-way WAN latency        [default: 10]
   --bandwidth <MB/s>         WAN bandwidth per link     [default: 1.0]
   --jitter <0..1>            WAN latency variation      [default: 0]
+
+HOSTILE-NETWORK OPTIONS (any command; soak sweeps comma lists of the
+first three as matrix dimensions):
+  --hetero <preset>          per-cluster compute speeds: uniform |
+                             slow-home (cluster 0 at 0.4x) | tiered
+                             (descending to 0.4x)      [default: uniform]
+  --cross-traffic <0..0.9>   seeded background flows occupying this
+                             fraction of each WAN link  [default: 0]
+  --schedule <shape>         time-varying WAN quality: none | diurnal |
+                             step | drift               [default: none]
+  --schedule-period <ms>     diurnal period / step onset / drift horizon
+                             [default: 500]
+  --degrade-latency <1..100> latency multiplier at full degradation
+                             [default: 2]
+  --degrade-bandwidth <f>    bandwidth multiplier at full degradation,
+                             in [0.01, 1]               [default: 0.5]
+  Cross-traffic and schedules are pure functions of --seed and virtual
+  time: the same command line replays bit-identically.
 
 FAULT OPTIONS (any command; enabling faults turns on the reliable
 transport so applications still complete, degraded only in virtual time):
@@ -668,11 +938,14 @@ SOAK OPTIONS:
                              [default: REPRO_JOBS, else available cores]
   Each cell runs one app at drop=i, duplicate=i/2, reorder=i/2 plus a
   gateway outage parked mid-run (placed from a fault-free probe), then
-  verifies the checksum against the serial reference. Failing cells print
-  the reproducing seed and full command line.
+  verifies the checksum against the serial reference. Comma lists given
+  to --cross-traffic, --schedule and --hetero multiply the matrix with
+  hostile-network dimensions. Failing cells print the reproducing seed
+  and full command line.
 
 BENCH OPTIONS:
-  --target <name>            table1 | fig1 | fig3 | fig4 | all [default: all]
+  --target <name>            table1 | fig1 | fig3 | fig4 | hostile | all
+                             [default: all]
   --jobs <N>                 worker threads [default: REPRO_JOBS, else cores]
   --scale <small|medium|paper>  problem size            [default: medium]
   --quick                    coarse grids (same as REPRO_QUICK=1)
@@ -696,6 +969,22 @@ SELFPERF:
   grid against crates/bench/baselines/BENCH_selfperf.json with
   `numagap bench --compare --virtual-only`.
   --quick                    coarse cells (same as REPRO_QUICK=1)
+  --jobs <N>                 worker threads [default: REPRO_JOBS, else cores]
+  --out <dir>                artifact directory [default: REPRO_OUT, else
+                             bench_results/]
+
+HOSTILE:
+  Runs every app (both variants) under five named scenarios sharing the
+  10 ms / 1 MB/s operating point — clean, slow-home, cross (50% seeded
+  cross-traffic), wave (diurnal WAN: latency x3, bandwidth x0.33), storm
+  (16+8+4+4 tiered clusters + cross-traffic + diurnal WAN) — and prints a
+  robustness scorecard: the makespan each paper optimization still saves
+  per scenario. Writes hostile.csv and BENCH_hostile.json (byte-identical
+  for any --jobs value); CI compares the small-scale run against
+  crates/bench/baselines/BENCH_hostile.json with --compare --virtual-only.
+  Same cells as `numagap bench --target hostile`.
+  --scale <small|medium|paper>  problem size [default: medium; the
+                             committed baseline is small]
   --jobs <N>                 worker threads [default: REPRO_JOBS, else cores]
   --out <dir>                artifact directory [default: REPRO_OUT, else
                              bench_results/]
@@ -973,6 +1262,7 @@ pub fn execute(cmd: Command) -> i32 {
         Command::Bench(args) => execute_bench(&args),
         Command::Predict(args) => execute_predict(&args),
         Command::Selfperf(args) => execute_selfperf(&args),
+        Command::Hostile(args) => execute_hostile(&args),
         Command::Run(args) => {
             let cfg = SuiteConfig::at(args.scale);
             let mut machine = args.machine.machine();
@@ -1178,11 +1468,51 @@ pub fn execute_selfperf(args: &SelfperfArgs) -> i32 {
     }
 }
 
-/// One (app, variant, intensity, seed) soak cell, with the fault-free
-/// makespan its outage window is derived from.
+/// Executes the `hostile` command: the fixed hostile-network scenario
+/// matrix and its robustness scorecard (see [`numagap_bench::hostile`]).
+pub fn execute_hostile(args: &HostileArgs) -> i32 {
+    let out = match &args.out {
+        Some(dir) => {
+            let path = std::path::PathBuf::from(dir);
+            if let Err(e) = std::fs::create_dir_all(&path) {
+                eprintln!("hostile: cannot create output directory {dir}: {e}");
+                return EXIT_ERROR;
+            }
+            path
+        }
+        None => match numagap_bench::out_dir() {
+            Ok(path) => path,
+            Err(e) => {
+                eprintln!("hostile: cannot create output directory: {e}");
+                return EXIT_ERROR;
+            }
+        },
+    };
+    let opts = SweepOpts {
+        scale: args.scale.unwrap_or_else(numagap_bench::scale_from_env),
+        quick: args.quick || numagap_bench::quick_from_env(),
+        jobs: args.jobs.unwrap_or_else(engine::jobs_from_env),
+        out,
+        progress: true,
+    };
+    match numagap_bench::hostile::run_hostile(&opts) {
+        Ok(_) => 0,
+        Err(e) => {
+            eprintln!("hostile: {e}");
+            EXIT_ERROR
+        }
+    }
+}
+
+/// One (app, variant, hetero, schedule, cross-traffic, intensity, seed)
+/// soak cell, with the fault-free makespan its outage window is derived
+/// from.
 struct SoakCell {
     app: AppId,
     variant: Variant,
+    hetero: HeteroPreset,
+    shape: ScheduleArg,
+    cross: f64,
     intensity: f64,
     seed: u64,
     clean: SimDuration,
@@ -1200,6 +1530,9 @@ fn run_soak_cell(
     let SoakCell {
         app,
         variant,
+        hetero,
+        shape,
+        cross,
         intensity,
         seed,
         clean,
@@ -1217,34 +1550,59 @@ fn run_soak_cell(
             SimTime::from_nanos(t / 2),
         );
     }
-    let spec = base_spec.clone().fault_plan(plan);
+    // The cell's hostile plans share the cell seed, so one `--seed` on the
+    // printed command reproduces faults, cross-traffic and schedule alike.
+    let mut spec = base_spec.clone();
+    if cross > 0.0 {
+        spec = spec.cross_traffic(CrossTrafficPlan::new(seed).intensity(cross));
+    }
+    if let Some(schedule) = args.machine.schedule_for(shape, seed) {
+        spec = spec.link_schedule(schedule);
+    }
+    let spec = spec.fault_plan(plan);
     let machine = Machine::new(spec.clone())
         .with_reliable_transport(TransportConfig::for_spec(&spec))
         .time_limit(SimDuration::from_secs(args.timeout_s));
-    let repro_cmd = format!(
+    let mut repro_cmd = format!(
         "numagap soak --app {app} --variant {variant} --scale {:?} \
          --clusters {} --procs {} --latency {} --bandwidth {} \
          --intensities {intensity} --seeds 1 --seed {seed}{}",
         args.scale,
-        args.machine.clusters,
+        args.machine.clusters_flag(),
         args.machine.procs,
         args.machine.latency_ms,
         args.machine.bandwidth_mbs,
         if args.no_outage { " --no-outage" } else { "" }
     )
     .to_ascii_lowercase();
+    if hetero != HeteroPreset::Uniform {
+        repro_cmd.push_str(&format!(" --hetero {hetero}"));
+    }
+    if cross > 0.0 {
+        repro_cmd.push_str(&format!(" --cross-traffic {cross}"));
+    }
+    if shape != ScheduleArg::None {
+        repro_cmd.push_str(&format!(
+            " --schedule {shape} --schedule-period {} \
+             --degrade-latency {} --degrade-bandwidth {}",
+            args.machine.schedule_period_ms,
+            args.machine.degrade_latency,
+            args.machine.degrade_bandwidth
+        ));
+    }
     let (app_s, var_s) = (app.to_string(), variant.to_string());
+    let (het_s, shape_s) = (hetero.to_string(), shape.to_string());
     let run = match run_app(app, cfg, variant, &machine) {
         Ok(run) => run,
         Err(e) => {
             let line = format!(
-                "{app_s:<8} {var_s:<12} {intensity:>9} {seed:>6} {:>14} \
-                 {:>7} {:>8} {:>8}  FAILED: {e}",
+                "{app_s:<8} {var_s:<12} {het_s:>9} {shape_s:>8} {cross:>6} \
+                 {intensity:>9} {seed:>6} {:>14} {:>7} {:>8} {:>8}  FAILED: {e}",
                 "-", "-", "-", "-"
             );
             let failure = format!(
-                "{app}/{variant} intensity {intensity} seed {seed}: {e}\n    \
-                 reproduce: {repro_cmd}"
+                "{app}/{variant} hetero={hetero} schedule={shape} cross={cross} \
+                 intensity={intensity} seed={seed}: {e}\n    reproduce: {repro_cmd}"
             );
             return (line, vec![failure]);
         }
@@ -1278,8 +1636,8 @@ fn run_soak_cell(
     let stats = run.transport.unwrap_or_default();
     let verdict = if problems.is_empty() { "ok" } else { "FAILED" };
     let line = format!(
-        "{app_s:<8} {var_s:<12} {intensity:>9} {seed:>6} {:>14} {:>7} \
-         {:>8} {:>7.1}%  {verdict}",
+        "{app_s:<8} {var_s:<12} {het_s:>9} {shape_s:>8} {cross:>6} \
+         {intensity:>9} {seed:>6} {:>14} {:>7} {:>8} {:>7.1}%  {verdict}",
         run.elapsed.to_string(),
         run.faults_injected,
         stats.retransmits,
@@ -1289,17 +1647,18 @@ fn run_soak_cell(
         .into_iter()
         .map(|problem| {
             format!(
-                "{app}/{variant} intensity {intensity} seed {seed}: {problem}\n    \
-                 reproduce: {repro_cmd}"
+                "{app}/{variant} hetero={hetero} schedule={shape} cross={cross} \
+                 intensity={intensity} seed={seed}: {problem}\n    reproduce: {repro_cmd}"
             )
         })
         .collect();
     (line, failures)
 }
 
-/// Executes the `soak` command: apps x fault intensities x seeds, each
-/// cell verified against the serial reference and (with `--repro`)
-/// replayed to prove the seed reproduces the exact fault schedule.
+/// Executes the `soak` command: apps x variants x hetero presets x
+/// schedule shapes x cross-traffic levels x fault intensities x seeds,
+/// each cell verified against the serial reference and (with `--repro`)
+/// replayed to prove the seed reproduces the exact hostile schedule.
 ///
 /// Cells are independent deterministic simulations, so they fan across the
 /// experiment engine's worker pool (`--jobs`); the table and the failure
@@ -1313,66 +1672,110 @@ pub fn execute_soak(args: &SoakArgs) -> i32 {
         args.apps.clone()
     };
     let base_seed = args.machine.seed.unwrap_or(1);
-    // The sweep owns the fault plan: strip fault flags off the base spec.
-    let probe_args = MachineArgs {
-        seed: None,
-        drop: 0.0,
-        duplicate: 0.0,
-        reorder: 0.0,
-        outages: Vec::new(),
-        ..args.machine.clone()
-    };
-    let base_spec = probe_args.spec();
+    // The sweep owns the fault, cross-traffic and schedule plans: strip
+    // those flags off the base spec, keeping one hetero-applied,
+    // interference-free spec per requested preset.
+    let hetero_specs: Vec<(HeteroPreset, TwoLayerSpec)> = args
+        .hetero
+        .iter()
+        .map(|&hetero| {
+            let probe_args = MachineArgs {
+                seed: None,
+                drop: 0.0,
+                duplicate: 0.0,
+                reorder: 0.0,
+                outages: Vec::new(),
+                cross_traffic: 0.0,
+                schedule: ScheduleArg::None,
+                hetero,
+                ..args.machine.clone()
+            };
+            (hetero, probe_args.spec())
+        })
+        .collect();
     let variants: Vec<Variant> = match args.variant {
         Some(v) => vec![v],
         None => vec![Variant::Unoptimized, Variant::Optimized],
     };
-    let pairs: Vec<(AppId, Variant)> = apps
-        .iter()
-        .flat_map(|&app| variants.iter().map(move |&v| (app, v)))
-        .collect();
-    let total =
-        apps.len() as u64 * variants.len() as u64 * args.intensities.len() as u64 * args.seeds;
+    let mut triples: Vec<(AppId, Variant, HeteroPreset)> = Vec::new();
+    for &app in &apps {
+        for &variant in &variants {
+            for &hetero in &args.hetero {
+                triples.push((app, variant, hetero));
+            }
+        }
+    }
+    let scenarios_per_triple = args.schedules.len() as u64
+        * args.cross_traffic.len() as u64
+        * args.intensities.len() as u64;
+    let total = triples.len() as u64 * scenarios_per_triple * args.seeds;
     println!(
-        "soak: {} app(s) x {} variant(s) x {:?} x {} seed(s) from {} = {} cell(s) on {}, \
-         {jobs} worker(s)",
+        "soak: {} app(s) x {} variant(s) x {} hetero x {} schedule(s) x {} cross level(s) \
+         x {:?} x {} seed(s) from {} = {} cell(s) on {}, {jobs} worker(s)",
         apps.len(),
         variants.len(),
+        args.hetero.len(),
+        args.schedules.len(),
+        args.cross_traffic.len(),
         args.intensities,
         args.seeds,
         base_seed,
         total,
-        base_spec.topology.label()
+        hetero_specs[0].1.topology.label()
     );
     println!(
-        "{:<8} {:<12} {:>9} {:>6} {:>14} {:>7} {:>8} {:>8}  verdict",
-        "app", "variant", "intensity", "seed", "runtime", "faults", "retrans", "goodput"
+        "{:<8} {:<12} {:>9} {:>8} {:>6} {:>9} {:>6} {:>14} {:>7} {:>8} {:>8}  verdict",
+        "app",
+        "variant",
+        "hetero",
+        "schedule",
+        "cross",
+        "intensity",
+        "seed",
+        "runtime",
+        "faults",
+        "retrans",
+        "goodput"
     );
-    // Serial references (one per app) and fault-free probes (one per pair):
-    // independent cells themselves, so they use the pool too. The probe
-    // fixes each pair's expected makespan and tells us where mid-run is, so
-    // the planted outage window actually bites.
+    // Serial references (one per app) and interference-free probes (one per
+    // triple): independent cells themselves, so they use the pool too. The
+    // probe fixes each triple's expected makespan and tells us where mid-run
+    // is, so the planted outage window actually bites.
     let expected: Vec<f64> =
         engine::run_cells(&apps, jobs, None, |_, &app| serial_checksum(app, &cfg));
-    let probes = engine::run_cells(&pairs, jobs, None, |_, &(app, variant)| {
-        run_app(app, &cfg, variant, &Machine::new(base_spec.clone()))
+    let spec_of = |hetero: HeteroPreset| -> &TwoLayerSpec {
+        &hetero_specs
+            .iter()
+            .find(|(h, _)| *h == hetero)
+            .expect("preset listed")
+            .1
+    };
+    let probes = engine::run_cells(&triples, jobs, None, |_, &(app, variant, hetero)| {
+        run_app(app, &cfg, variant, &Machine::new(spec_of(hetero).clone()))
             .map(|run| run.elapsed)
             .map_err(|e| e.to_string())
     });
-    // Enumerate the fault cells in canonical order; pairs whose probe
+    // Enumerate the hostile cells in canonical order; triples whose probe
     // failed contribute no cells (their failure is reported below).
     let mut cells: Vec<SoakCell> = Vec::new();
-    for (&(app, variant), probe) in pairs.iter().zip(&probes) {
+    for (&(app, variant, hetero), probe) in triples.iter().zip(&probes) {
         if let Ok(clean) = probe {
-            for &intensity in &args.intensities {
-                for k in 0..args.seeds {
-                    cells.push(SoakCell {
-                        app,
-                        variant,
-                        intensity,
-                        seed: base_seed + k,
-                        clean: *clean,
-                    });
+            for &shape in &args.schedules {
+                for &cross in &args.cross_traffic {
+                    for &intensity in &args.intensities {
+                        for k in 0..args.seeds {
+                            cells.push(SoakCell {
+                                app,
+                                variant,
+                                hetero,
+                                shape,
+                                cross,
+                                intensity,
+                                seed: base_seed + k,
+                                clean: *clean,
+                            });
+                        }
+                    }
                 }
             }
         }
@@ -1382,30 +1785,33 @@ pub fn execute_soak(args: &SoakArgs) -> i32 {
             .iter()
             .position(|&a| a == cell.app)
             .expect("app listed");
-        run_soak_cell(args, &cfg, &base_spec, expected[idx], cell)
+        run_soak_cell(args, &cfg, spec_of(cell.hetero), expected[idx], cell)
     });
     // Render the table and collect failures in canonical cell order.
     let mut failures: Vec<String> = Vec::new();
     let mut ran = 0u64;
-    let per_pair = args.intensities.len() * args.seeds as usize;
+    let per_triple = (scenarios_per_triple * args.seeds) as usize;
     let mut at = 0usize;
-    for (&(app, variant), probe) in pairs.iter().zip(&probes) {
+    for (&(app, variant, hetero), probe) in triples.iter().zip(&probes) {
         match probe {
             Err(e) => {
                 println!(
-                    "{:<8} {:<12} fault-free probe failed: {e}",
+                    "{:<8} {:<12} {:>9} clean probe failed: {e}",
                     app.to_string(),
-                    variant.to_string()
+                    variant.to_string(),
+                    hetero.to_string()
                 );
-                failures.push(format!("{app}/{variant}: fault-free probe failed: {e}"));
+                failures.push(format!(
+                    "{app}/{variant} hetero={hetero}: clean probe failed: {e}"
+                ));
             }
             Ok(_) => {
-                for (line, cell_failures) in &outcomes[at..at + per_pair] {
+                for (line, cell_failures) in &outcomes[at..at + per_triple] {
                     ran += 1;
                     println!("{line}");
                     failures.extend(cell_failures.iter().cloned());
                 }
-                at += per_pair;
+                at += per_triple;
             }
         }
     }
@@ -2309,6 +2715,192 @@ mod tests {
             "--drop",
             "0.1",
             "--verify",
+        ])
+        .unwrap();
+        assert_eq!(execute(cmd), 0);
+    }
+
+    #[test]
+    fn parses_cluster_size_lists() {
+        match parse(&["info", "--clusters", "8,8,4,2"]).unwrap() {
+            Command::Info(m) => {
+                assert_eq!(m.clusters, 4);
+                assert_eq!(m.cluster_sizes, Some(vec![8, 8, 4, 2]));
+                assert_eq!(m.clusters_flag(), "8,8,4,2");
+                assert_eq!(m.topology().label(), "8+8+4+2");
+            }
+            other => panic!("expected info, got {other:?}"),
+        }
+        match parse(&["info", "--clusters", "3"]).unwrap() {
+            Command::Info(m) => {
+                assert_eq!(m.clusters, 3);
+                assert_eq!(m.cluster_sizes, None);
+                assert_eq!(m.clusters_flag(), "3");
+            }
+            other => panic!("expected info, got {other:?}"),
+        }
+        assert!(parse(&["info", "--clusters", "8,0,4"]).is_err());
+        assert!(parse(&["info", "--clusters", "0"]).is_err());
+        assert!(parse(&["info", "--clusters", "8,x"]).is_err());
+    }
+
+    #[test]
+    fn parses_hostile_network_flags() {
+        match parse(&[
+            "run",
+            "--app",
+            "fft",
+            "--seed",
+            "9",
+            "--hetero",
+            "slow-home",
+            "--cross-traffic",
+            "0.4",
+            "--schedule",
+            "diurnal",
+            "--schedule-period",
+            "250",
+            "--degrade-latency",
+            "3",
+            "--degrade-bandwidth",
+            "0.33",
+        ])
+        .unwrap()
+        {
+            Command::Run(args) => {
+                let m = &args.machine;
+                assert_eq!(m.hetero, HeteroPreset::SlowHome);
+                assert!((m.cross_traffic - 0.4).abs() < 1e-12);
+                assert_eq!(m.schedule, ScheduleArg::Diurnal);
+                assert!((m.schedule_period_ms - 250.0).abs() < 1e-12);
+                let spec = m.spec();
+                assert!(spec.topology.is_heterogeneous());
+                let plan = spec.cross_traffic.expect("cross-traffic plan installed");
+                assert_eq!(plan.seed, 9);
+                assert!((plan.intensity - 0.4).abs() < 1e-12);
+                let schedule = spec.link_schedule.expect("schedule installed");
+                assert_eq!(schedule.seed, 9);
+                assert_eq!(schedule.peak_latency_permille, 3000);
+                assert_eq!(schedule.floor_bandwidth_permille, 330);
+            }
+            other => panic!("expected run, got {other:?}"),
+        }
+        // Defaults leave the spec free of hostile plans — the classic
+        // machine, bit-identical to the pre-hostile CLI.
+        match parse(&["run", "--app", "fft"]).unwrap() {
+            Command::Run(args) => {
+                let spec = args.machine.spec();
+                assert_eq!(spec.cross_traffic, None);
+                assert_eq!(spec.link_schedule, None);
+                assert!(!spec.topology.is_heterogeneous());
+            }
+            other => panic!("expected run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_hostile_flags() {
+        assert!(parse(&["run", "--app", "fft", "--cross-traffic", "0.95"]).is_err());
+        assert!(parse(&["run", "--app", "fft", "--cross-traffic", "-0.1"]).is_err());
+        assert!(parse(&["run", "--app", "fft", "--cross-traffic", "nan"]).is_err());
+        assert!(parse(&["run", "--app", "fft", "--schedule", "lunar"]).is_err());
+        assert!(parse(&["run", "--app", "fft", "--schedule-period", "0"]).is_err());
+        assert!(parse(&["run", "--app", "fft", "--degrade-latency", "0.5"]).is_err());
+        assert!(parse(&["run", "--app", "fft", "--degrade-latency", "101"]).is_err());
+        assert!(parse(&["run", "--app", "fft", "--degrade-bandwidth", "0"]).is_err());
+        assert!(parse(&["run", "--app", "fft", "--degrade-bandwidth", "1.5"]).is_err());
+        assert!(parse(&["run", "--app", "fft", "--hetero", "bogus"]).is_err());
+    }
+
+    #[test]
+    fn soak_sweeps_hostile_dimensions_as_comma_lists() {
+        match parse(&[
+            "soak",
+            "--cross-traffic",
+            "0,0.4",
+            "--schedule",
+            "none,step",
+            "--hetero",
+            "uniform,slow-home",
+        ])
+        .unwrap()
+        {
+            Command::Soak(args) => {
+                assert_eq!(args.cross_traffic, vec![0.0, 0.4]);
+                assert_eq!(args.schedules, vec![ScheduleArg::None, ScheduleArg::Step]);
+                assert_eq!(
+                    args.hetero,
+                    vec![HeteroPreset::Uniform, HeteroPreset::SlowHome]
+                );
+            }
+            other => panic!("expected soak, got {other:?}"),
+        }
+        // Defaults reproduce the classic fault-only matrix: one clean value
+        // per hostile dimension.
+        match parse(&["soak"]).unwrap() {
+            Command::Soak(args) => {
+                assert_eq!(args.cross_traffic, vec![0.0]);
+                assert_eq!(args.schedules, vec![ScheduleArg::None]);
+                assert_eq!(args.hetero, vec![HeteroPreset::Uniform]);
+            }
+            other => panic!("expected soak, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_hostile_command() {
+        match parse(&["hostile"]).unwrap() {
+            Command::Hostile(args) => {
+                assert_eq!(args.jobs, None, "worker count resolved at run time");
+                assert_eq!(args.scale, None, "scale falls back to REPRO_SCALE");
+                assert!(!args.quick);
+                assert_eq!(args.out, None);
+            }
+            other => panic!("expected hostile, got {other:?}"),
+        }
+        match parse(&[
+            "hostile", "--scale", "small", "--jobs", "2", "--out", "/tmp/h",
+        ])
+        .unwrap()
+        {
+            Command::Hostile(args) => {
+                assert_eq!(args.scale, Some(Scale::Small));
+                assert_eq!(args.jobs, Some(2));
+                assert_eq!(args.out.as_deref(), Some("/tmp/h"));
+            }
+            other => panic!("expected hostile, got {other:?}"),
+        }
+        assert!(parse(&["hostile", "--jobs", "0"]).is_err());
+    }
+
+    #[test]
+    fn hostile_soak_passes_on_tiny_sweep() {
+        // The full hostile matrix on the smallest machine: asymmetric
+        // heterogeneous clusters, cross-traffic, a step schedule, faults,
+        // and a replay check — all from one seed.
+        let cmd = parse(&[
+            "soak",
+            "--app",
+            "fft",
+            "--scale",
+            "small",
+            "--clusters",
+            "2,1",
+            "--procs",
+            "2",
+            "--hetero",
+            "slow-home",
+            "--cross-traffic",
+            "0.3",
+            "--schedule",
+            "step",
+            "--intensities",
+            "0.1",
+            "--seeds",
+            "1",
+            "--seed",
+            "5",
+            "--repro",
         ])
         .unwrap();
         assert_eq!(execute(cmd), 0);

@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 use numagap_sim::{FaultDisposition, Network, ProcId, SimDuration, SimTime, Tag, Transfer};
 
 use crate::fault::FaultPlan;
+use crate::hostile::{CrossTrafficPlan, LinkSchedule};
 use crate::link::{LinkParams, LinkState};
 use crate::topology::Topology;
 use crate::wan::WanTopology;
@@ -64,6 +65,17 @@ pub struct TwoLayerSpec {
     /// fault machinery, so fault-free runs are byte-identical to builds
     /// without it.
     pub fault_plan: Option<FaultPlan>,
+    /// Seeded background traffic occupying WAN link bandwidth, or `None`
+    /// (the default) for a dedicated network. When `None` no background
+    /// bookings are made, so clean runs are byte-identical to builds
+    /// without it.
+    #[serde(default)]
+    pub cross_traffic: Option<CrossTrafficPlan>,
+    /// Time-varying WAN quality (latency up, bandwidth down) as a pure
+    /// function of virtual time, or `None` (the default) for constant link
+    /// parameters.
+    #[serde(default)]
+    pub link_schedule: Option<LinkSchedule>,
 }
 
 impl TwoLayerSpec {
@@ -80,6 +92,8 @@ impl TwoLayerSpec {
             wan_latency_jitter: 0.0,
             wan_topology: WanTopology::FullMesh,
             fault_plan: None,
+            cross_traffic: None,
+            link_schedule: None,
         }
     }
 
@@ -127,6 +141,30 @@ impl TwoLayerSpec {
         self
     }
 
+    /// Installs seeded background cross-traffic on the WAN links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's parameters are out of bounds (see
+    /// [`CrossTrafficPlan::validate`]).
+    pub fn cross_traffic(mut self, plan: CrossTrafficPlan) -> Self {
+        plan.validate();
+        self.cross_traffic = Some(plan);
+        self
+    }
+
+    /// Installs a time-varying WAN quality schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule's parameters are out of bounds (see
+    /// [`LinkSchedule::validate`]).
+    pub fn link_schedule(mut self, schedule: LinkSchedule) -> Self {
+        schedule.validate();
+        self.link_schedule = Some(schedule);
+        self
+    }
+
     /// Builds the stateful network model.
     pub fn build(self) -> TwoLayerNetwork {
         TwoLayerNetwork::new(self)
@@ -151,7 +189,14 @@ pub struct NetStats {
     /// Outgoing inter-cluster payload bytes per source cluster.
     pub inter_bytes_out: Vec<u64>,
     /// Busy time per ordered WAN link `(src_cluster, dst_cluster, busy)`.
+    /// Includes background cross-traffic occupancy when a plan is active.
     pub wan_busy: Vec<(usize, usize, SimDuration)>,
+    /// Background cross-traffic messages injected on WAN links.
+    #[serde(default)]
+    pub cross_msgs: u64,
+    /// Background cross-traffic bytes injected on WAN links.
+    #[serde(default)]
+    pub cross_bytes: u64,
 }
 
 impl NetStats {
@@ -191,6 +236,13 @@ pub struct TwoLayerNetwork {
     /// Per ordered cluster pair: how many fault decisions this link has
     /// drawn. Feeds the fault plan's split per-link decision streams.
     fault_seq: Vec<Vec<u64>>,
+    /// Next background cross-traffic departure per ordered cluster pair,
+    /// indexed `a * nclusters + b`. `SimTime::ZERO` means the stream has
+    /// not drawn its first gap yet (no gap draw is ever zero).
+    xt_next: Vec<SimTime>,
+    /// Background messages already injected per ordered cluster pair.
+    /// Indexes the cross-traffic plan's split per-link decision streams.
+    xt_seq: Vec<u64>,
     stats: NetStats,
 }
 
@@ -200,6 +252,12 @@ pub(crate) fn mix64(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
     x ^ (x >> 31)
+}
+
+/// Scales a duration by an integer permille ratio (`num / den`), rounding
+/// down; u128 intermediates keep multi-second durations exact.
+fn permille_scale(d: SimDuration, num: u64, den: u64) -> SimDuration {
+    SimDuration::from_nanos((d.as_nanos() as u128 * num as u128 / den as u128) as u64)
 }
 
 /// One LAN hop: serialize out of `out`, traverse latency, then occupy `in_`.
@@ -225,6 +283,12 @@ impl TwoLayerNetwork {
         if let Some(plan) = &spec.fault_plan {
             plan.validate();
         }
+        if let Some(plan) = &spec.cross_traffic {
+            plan.validate();
+        }
+        if let Some(schedule) = &spec.link_schedule {
+            schedule.validate();
+        }
         TwoLayerNetwork {
             out_nic: vec![LinkState::default(); n],
             in_nic: vec![LinkState::default(); n],
@@ -235,6 +299,8 @@ impl TwoLayerNetwork {
             pair_floor: vec![SimTime::ZERO; n * n],
             jitter_seq: 0,
             fault_seq: vec![vec![0; c]; c],
+            xt_next: vec![SimTime::ZERO; c * c],
+            xt_seq: vec![0; c * c],
             stats: NetStats {
                 inter_msgs_out: vec![0; c],
                 inter_bytes_out: vec![0; c],
@@ -247,6 +313,56 @@ impl TwoLayerNetwork {
     /// The spec this network was built from.
     pub fn spec(&self) -> &TwoLayerSpec {
         &self.spec
+    }
+
+    /// Advances the ordered link `(a, b)`'s background traffic stream up to
+    /// `upto`, booking every background message departing at or before that
+    /// instant into the link's gap-filling interval list. Application
+    /// messages with later ready points then contend with the background
+    /// load exactly as the interval list dictates.
+    ///
+    /// The kernel's canonical transfer booking makes the sequence of
+    /// `transfer` calls — and therefore the set of advance points — a pure
+    /// function of application behavior, so the injected background load
+    /// replays bit-identically from the plan seed.
+    fn inject_cross_traffic(&mut self, a: usize, b: usize, upto: SimTime) {
+        let Some(plan) = self.spec.cross_traffic else {
+            return;
+        };
+        if plan.intensity <= 0.0 {
+            return;
+        }
+        // Mean interarrival gap that makes background serialization consume
+        // `intensity` of the link: tx(mean size) / intensity.
+        let mean_tx = self.spec.inter.tx_time(plan.mean_bytes);
+        let mean_gap_ns = (mean_tx.as_nanos() as f64 / plan.intensity).round() as u64;
+        // Gap for background message `k` uses draw `2k`, its size draw
+        // `2k + 1`; gaps are uniform in [0.5, 1.5) x mean (never zero).
+        let gap = |k: u64| {
+            let u = plan.draw(a, b, 2 * k);
+            SimDuration::from_nanos(((0.5 + u) * mean_gap_ns as f64).round() as u64)
+        };
+        let idx = a * self.spec.topology.nclusters() + b;
+        if self.xt_next[idx] == SimTime::ZERO {
+            self.xt_next[idx] = SimTime::ZERO + gap(0);
+        }
+        while self.xt_next[idx] <= upto {
+            let k = self.xt_seq[idx];
+            let u = plan.draw(a, b, 2 * k + 1);
+            // Sizes uniform in [0.5, 1.5) x mean.
+            let bytes = plan.mean_bytes / 2 + (u * plan.mean_bytes as f64).round() as u64;
+            let dep = self.xt_next[idx];
+            let mut tx = self.spec.inter.tx_time(bytes);
+            if let Some(schedule) = self.spec.link_schedule {
+                let (_, bw_pm) = schedule.factors_permille(a, b, dep);
+                tx = permille_scale(tx, 1000, bw_pm);
+            }
+            self.wan[a][b].acquire(dep, tx, bytes);
+            self.stats.cross_msgs += 1;
+            self.stats.cross_bytes += bytes;
+            self.xt_seq[idx] = k + 1;
+            self.xt_next[idx] = dep + gap(k + 1);
+        }
     }
 
     /// A snapshot of the traffic statistics (WAN busy times included).
@@ -318,8 +434,22 @@ impl Network for TwoLayerNetwork {
             for hop in route.windows(2) {
                 let (a, b) = (hop[0], hop[1]);
                 let wan_ready = self.gw_cpu[a].acquire(at, occ, size) + occ;
-                let wan_start = self.wan[a][b].acquire(wan_ready, tx_wan, size);
-                let latency = if self.spec.wan_latency_jitter > 0.0 {
+                // Time-varying link quality: sample the schedule at the
+                // instant the message is ready to enter the link.
+                let (lat_pm, bw_pm) = match self.spec.link_schedule {
+                    Some(schedule) => schedule.factors_permille(a, b, wan_ready),
+                    None => (1000, 1000),
+                };
+                let tx_link = if bw_pm == 1000 {
+                    tx_wan
+                } else {
+                    permille_scale(tx_wan, 1000, bw_pm)
+                };
+                // Book any background traffic departing up to this point so
+                // the application message contends with it for the link.
+                self.inject_cross_traffic(a, b, wan_ready);
+                let wan_start = self.wan[a][b].acquire(wan_ready, tx_link, size);
+                let mut latency = if self.spec.wan_latency_jitter > 0.0 {
                     self.jitter_seq += 1;
                     let u = mix64(self.jitter_seq) as f64 / u64::MAX as f64; // [0, 1]
                     let factor = 1.0 + self.spec.wan_latency_jitter * (2.0 * u - 1.0);
@@ -329,7 +459,10 @@ impl Network for TwoLayerNetwork {
                 } else {
                     self.spec.inter.latency
                 };
-                at = wan_start + tx_wan + latency;
+                if lat_pm != 1000 {
+                    latency = permille_scale(latency, lat_pm, 1000);
+                }
+                at = wan_start + tx_link + latency;
             }
             // The destination gateway's CPU, then the receiver's LAN.
             let ready3 = self.gw_cpu[cd].acquire(at, occ, size) + occ;
@@ -554,6 +687,122 @@ mod tests {
     #[should_panic(expected = "jitter fraction")]
     fn jitter_bounds_are_checked() {
         let _ = TwoLayerSpec::new(Topology::symmetric(2, 2)).wan_latency_jitter(1.5);
+    }
+
+    #[test]
+    fn cross_traffic_slows_the_contended_link_only() {
+        use crate::hostile::CrossTrafficPlan;
+        let clean = |bytes: u64| {
+            let mut net = spec_4x8().build();
+            net.transfer(
+                ProcId(0),
+                ProcId(8),
+                bytes,
+                SimTime::from_nanos(500_000_000),
+            )
+            .arrival
+        };
+        let hostile = |bytes: u64| {
+            let mut net = spec_4x8()
+                .cross_traffic(CrossTrafficPlan::new(7).intensity(0.6))
+                .build();
+            net.transfer(
+                ProcId(0),
+                ProcId(8),
+                bytes,
+                SimTime::from_nanos(500_000_000),
+            )
+            .arrival
+        };
+        // A large transfer half a second in: plenty of background load has
+        // accumulated on the 0->1 link by then, so the hostile arrival is
+        // strictly later.
+        assert!(
+            hostile(200_000) > clean(200_000),
+            "background load must delay the contended transfer"
+        );
+        let mut net = spec_4x8()
+            .cross_traffic(CrossTrafficPlan::new(7).intensity(0.6))
+            .build();
+        net.transfer(ProcId(0), ProcId(8), 1000, SimTime::from_nanos(500_000_000));
+        let s = net.stats();
+        assert!(s.cross_msgs > 0, "background messages were injected");
+        assert!(s.cross_bytes > 0);
+        assert_eq!(s.inter_msgs, 1, "background load is not app traffic");
+    }
+
+    #[test]
+    fn cross_traffic_replays_bit_identically_from_the_seed() {
+        use crate::hostile::CrossTrafficPlan;
+        let run = |seed: u64| {
+            let mut net = spec_4x8()
+                .cross_traffic(CrossTrafficPlan::new(seed).intensity(0.5))
+                .build();
+            let arrivals: Vec<u64> = (0..40u64)
+                .map(|i| {
+                    net.transfer(
+                        ProcId((i % 8) as usize),
+                        ProcId(8 + (i % 24) as usize),
+                        500 + i * 37,
+                        SimTime::from_nanos(i * 3_000_000),
+                    )
+                    .arrival
+                    .as_nanos()
+                })
+                .collect();
+            (arrivals, net.stats().cross_msgs, net.stats().cross_bytes)
+        };
+        assert_eq!(run(7), run(7), "same seed must replay bit-identically");
+        assert_ne!(run(7), run(8), "different seeds must differ");
+    }
+
+    #[test]
+    fn step_schedule_degrades_latency_and_bandwidth_after_the_step() {
+        use crate::hostile::LinkSchedule;
+        let schedule = LinkSchedule::step(0, SimTime::from_nanos(100_000_000))
+            .latency_factor(3.0)
+            .bandwidth_factor(0.5);
+        let mut net = spec_4x8().link_schedule(schedule).build();
+        // Before the step: identical to the clean cost model.
+        let before = net.transfer(ProcId(0), ProcId(8), 936, SimTime::ZERO);
+        let clean_us = 5 + 40 + 60 + 1000 + 10_000 + 60 + 40;
+        assert_eq!(
+            before.arrival,
+            SimTime::ZERO + SimDuration::from_micros(clean_us)
+        );
+        // Well after the step: tx doubles (1000 -> 2000 us), latency
+        // triples (10 -> 30 ms).
+        let at = SimTime::from_nanos(200_000_000);
+        let after = net.transfer(ProcId(1), ProcId(9), 936, at);
+        let hostile_us = 5 + 40 + 60 + 2000 + 30_000 + 60 + 40;
+        assert_eq!(after.arrival, at + SimDuration::from_micros(hostile_us));
+    }
+
+    #[test]
+    fn absent_hostile_plans_match_the_clean_model_exactly() {
+        use crate::hostile::CrossTrafficPlan;
+        let clean = spec_4x8();
+        let zero = spec_4x8().cross_traffic(CrossTrafficPlan::new(1).intensity(0.0));
+        let run = |spec: TwoLayerSpec| {
+            let mut net = spec.build();
+            (0..64u64)
+                .map(|i| {
+                    net.transfer(
+                        ProcId((i % 32) as usize),
+                        ProcId(((i * 11 + 5) % 32) as usize),
+                        i * 101,
+                        SimTime::from_nanos(i * 50_000),
+                    )
+                    .arrival
+                    .as_nanos()
+                })
+                .collect::<Vec<u64>>()
+        };
+        assert_eq!(
+            run(clean),
+            run(zero),
+            "zero-intensity cross traffic must not change any arrival"
+        );
     }
 
     #[test]

@@ -22,8 +22,11 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use numagap_apps::{run_app, AppId, Scale, SuiteConfig, Variant};
-use numagap_net::das_spec;
+use numagap_net::{
+    das_spec, CrossTrafficPlan, HeteroPreset, LinkParams, LinkSchedule, Topology, TwoLayerSpec,
+};
 use numagap_rt::Machine;
+use numagap_sim::SimDuration;
 
 /// The two wide-area presets pinned by the suite: the paper's local-ATM
 /// ceiling territory (fast WAN) and a slow long-haul setting. Both exercise
@@ -58,6 +61,22 @@ fn combos() -> Vec<(AppId, Variant)> {
     v
 }
 
+/// The hostile-network preset: slow-home heterogeneous clusters on the
+/// slow WAN with seeded cross-traffic and a diurnal degradation schedule.
+/// Pins the whole hostile machinery — plan injection, schedule scaling,
+/// and compute-speed scaling — bit-for-bit alongside the clean presets.
+fn hostile_spec() -> TwoLayerSpec {
+    let topo = HeteroPreset::SlowHome.apply(Topology::symmetric(CLUSTERS, PROCS_PER_CLUSTER));
+    TwoLayerSpec::new(topo)
+        .inter(LinkParams::wide_area(10.0, 1.0))
+        .cross_traffic(CrossTrafficPlan::new(7).intensity(0.5))
+        .link_schedule(
+            LinkSchedule::diurnal(7, SimDuration::from_millis(500))
+                .latency_factor(3.0)
+                .bandwidth_factor(0.33),
+        )
+}
+
 /// One line per cell: `preset app variant elapsed_ns messages checksum`.
 /// The checksum uses Rust's shortest-roundtrip `{}` float formatting, so
 /// equality of the formatted string is equality of the f64 bit pattern
@@ -66,8 +85,15 @@ fn render() -> String {
     let cfg = SuiteConfig::at(Scale::Small);
     let mut out = String::new();
     out.push_str("# preset app variant elapsed_ns messages checksum\n");
+    let mut machines = Vec::new();
     for (preset, lat_ms, bw_mbs) in PRESETS {
-        let machine = Machine::new(das_spec(CLUSTERS, PROCS_PER_CLUSTER, lat_ms, bw_mbs));
+        machines.push((
+            preset,
+            Machine::new(das_spec(CLUSTERS, PROCS_PER_CLUSTER, lat_ms, bw_mbs)),
+        ));
+    }
+    machines.push(("wan-hostile", Machine::new(hostile_spec())));
+    for (preset, machine) in machines {
         for (app, variant) in combos() {
             let run = run_app(app, &cfg, variant, &machine)
                 .unwrap_or_else(|e| panic!("{app}/{variant} on {preset}: {e}"));
