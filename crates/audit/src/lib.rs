@@ -187,6 +187,13 @@ pub const WAIVERS: &[Waiver] = &[
         reason: "wall-clock stopwatch around hostile scorecard cells, recorded as \
                  wall_s only; the scorecard and compare gate read virtual fields",
     },
+    Waiver {
+        rule: "ND002",
+        path_suffix: "bench/src/topo.rs",
+        token: "Instant::now",
+        reason: "wall-clock stopwatch around topology sweep cells, recorded as \
+                 wall_s only; the scorecard and compare gate read virtual fields",
+    },
     // ── ND005: reductions over index-ordered slices ──
     Waiver {
         rule: "ND005",

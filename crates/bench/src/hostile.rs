@@ -26,7 +26,7 @@ use std::time::Instant;
 
 use numagap_apps::{run_app, AppId, SuiteConfig, Variant};
 use numagap_net::{
-    CrossTrafficPlan, HeteroPreset, LinkParams, LinkSchedule, Topology, TwoLayerSpec,
+    CrossTrafficPlan, HeteroPreset, LinkParams, LinkSchedule, Topology, TwoLayerSpec, WanTopology,
 };
 use numagap_rt::Machine;
 use numagap_sim::SimDuration;
@@ -100,14 +100,18 @@ const SCENARIOS: [Scenario; 5] = [
     },
 ];
 
-/// The interconnect spec of one scenario — a pure function of the scenario
-/// and [`HOSTILE_SEED`].
-fn scenario_spec(s: &Scenario) -> TwoLayerSpec {
+/// The interconnect spec of one scenario — a pure function of the scenario,
+/// [`HOSTILE_SEED`], and the optional wide-area wiring override (`None`
+/// keeps the full mesh, bit-identical to the committed baseline).
+fn scenario_spec(s: &Scenario, wan: Option<WanTopology>) -> TwoLayerSpec {
     let topo = s.hetero.apply(Topology::new(s.sizes));
     let mut spec = TwoLayerSpec::new(topo).inter(LinkParams::wide_area(
         HOSTILE_LATENCY_MS,
         HOSTILE_BANDWIDTH_MBS,
     ));
+    if let Some(t) = wan {
+        spec = spec.wan_topology(t);
+    }
     if s.cross > 0.0 {
         spec = spec.cross_traffic(CrossTrafficPlan::new(HOSTILE_SEED).intensity(s.cross));
     }
@@ -137,6 +141,8 @@ fn win_pct(unopt: f64, opt: f64) -> f64 {
 /// Simulator failures in any cell and artifact I/O.
 pub fn run_hostile(opts: &SweepOpts) -> Result<BenchSummary, BenchError> {
     let cfg = SuiteConfig::at(opts.scale);
+    // Every scenario machine has 4 clusters, so one validation covers all.
+    let wan = opts.checked_topology()?;
     let mut cells: Vec<(usize, AppId, Variant)> = Vec::new();
     for (si, _) in SCENARIOS.iter().enumerate() {
         for app in AppId::ALL {
@@ -159,7 +165,7 @@ pub fn run_hostile(opts: &SweepOpts) -> Result<BenchSummary, BenchError> {
     let label = if opts.progress { Some("hostile") } else { None };
     let outs = engine::run_cells(&cells, opts.jobs, label, |_, &(si, app, variant)| {
         let start = Instant::now();
-        let machine = Machine::new(scenario_spec(&SCENARIOS[si]));
+        let machine = Machine::new(scenario_spec(&SCENARIOS[si], wan));
         let result = run_app(app, &cfg, variant, &machine).map_err(|e| e.to_string());
         (result, start.elapsed().as_secs_f64())
     });
@@ -277,24 +283,38 @@ mod tests {
             jobs: 4,
             out: dir.to_path_buf(),
             progress: false,
+            topology: None,
         }
     }
 
     #[test]
     fn scenario_specs_are_valid_and_storm_is_asymmetric() {
         for s in &SCENARIOS {
-            let spec = scenario_spec(s);
+            let spec = scenario_spec(s, None);
             assert_eq!(spec.topology.nclusters(), 4, "{}", s.name);
             assert_eq!(spec.topology.nprocs(), 32, "{}", s.name);
         }
-        let storm = scenario_spec(&SCENARIOS[4]);
+        let storm = scenario_spec(&SCENARIOS[4], None);
         assert_eq!(storm.topology.label(), "16+8+4+4");
         assert!(storm.topology.is_heterogeneous());
         assert!(storm.cross_traffic.is_some());
         assert!(storm.link_schedule.is_some());
-        let clean = scenario_spec(&SCENARIOS[0]);
+        let clean = scenario_spec(&SCENARIOS[0], None);
         assert_eq!(clean.topology.label(), "4x8");
         assert!(clean.cross_traffic.is_none() && clean.link_schedule.is_none());
+    }
+
+    #[test]
+    fn scenario_specs_compose_with_routed_links() {
+        // PR 7's hostile plans (cross-traffic, diurnal schedule, tiered
+        // asymmetric clusters) must compose with a routed wide-area layer.
+        let storm = scenario_spec(&SCENARIOS[4], Some(WanTopology::Ring));
+        assert_eq!(storm.wan_topology, WanTopology::Ring);
+        assert!(storm.cross_traffic.is_some() && storm.link_schedule.is_some());
+        let clean = scenario_spec(&SCENARIOS[0], Some(WanTopology::FatTree { pod: 2 }));
+        assert_eq!(clean.wan_topology, WanTopology::FatTree { pod: 2 });
+        // Building the machine exercises the virtual-switch sizing.
+        let _ = Machine::new(clean);
     }
 
     #[test]

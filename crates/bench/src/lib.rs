@@ -11,6 +11,7 @@
 //! | `fig3_sweep` | Figure 3 (12 panels of relative speedup vs bandwidth × latency) |
 //! | `fig4_comm_time` | Figure 4 (communication time vs bandwidth / latency) |
 //! | `hostile` | hostile-network robustness scorecard (slow clusters, cross-traffic, diurnal WAN) |
+//! | `topo` | fig3 sensitivity grid per wide-area topology (`--topology` restricts to one shape) |
 //! | `cluster_structure` | §5.1 cluster-structure experiment (8x4 vs 4x8 ...) |
 //! | `magpie_bench` | §6 MagPIe collectives vs flat (up to 10x) |
 //! | `micro` | Criterion microbenchmarks of the simulator itself |
@@ -34,7 +35,7 @@ use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 
 use numagap_apps::{run_app, AppId, AppRun, Scale, SuiteConfig, Variant};
-use numagap_net::das_spec;
+use numagap_net::{das_spec, WanTopology};
 use numagap_rt::Machine;
 use numagap_sim::SimDuration;
 
@@ -44,6 +45,7 @@ pub mod json;
 pub mod record;
 pub mod selfperf;
 pub mod targets;
+pub mod topo;
 
 /// The machine size used throughout the paper's main experiments.
 pub const CLUSTERS: usize = 4;
@@ -130,6 +132,21 @@ pub fn wan_machine(latency_ms: f64, bandwidth_mbs: f64) -> Machine {
         latency_ms,
         bandwidth_mbs,
     ))
+}
+
+/// [`wan_machine`] with an optional wide-area wiring override. `None` is
+/// exactly `wan_machine` (the DAS full mesh), keeping the committed paper
+/// baselines bit-identical.
+pub fn wan_machine_with(
+    latency_ms: f64,
+    bandwidth_mbs: f64,
+    topology: Option<WanTopology>,
+) -> Machine {
+    let spec = das_spec(CLUSTERS, PROCS_PER_CLUSTER, latency_ms, bandwidth_mbs);
+    match topology {
+        Some(t) => Machine::new(spec.wan_topology(t)),
+        None => Machine::new(spec),
+    }
 }
 
 /// The all-Myrinet single-cluster machine with the same processor count.

@@ -366,6 +366,7 @@ mod tests {
             jobs: 2,
             out: dir.to_path_buf(),
             progress: false,
+            topology: None,
         }
     }
 

@@ -14,7 +14,7 @@ use std::time::Instant;
 
 use numagap_apps::{run_app, AppId, AppRun, Scale, SuiteConfig, Variant};
 use numagap_net::{
-    uniform_spec, FIG1_BANDWIDTH_MBS, FIG1_LATENCY_MS, FIG4_FIXED_BANDWIDTH_MBS,
+    uniform_spec, WanTopology, FIG1_BANDWIDTH_MBS, FIG1_LATENCY_MS, FIG4_FIXED_BANDWIDTH_MBS,
     FIG4_FIXED_LATENCY_MS, PAPER_BANDWIDTHS_MBS, PAPER_LATENCIES_MS,
 };
 use numagap_rt::Machine;
@@ -22,11 +22,11 @@ use numagap_rt::Machine;
 use crate::record::{BenchSummary, RunRecord};
 use crate::{
     baseline_machine, comm_time_pct, engine, out_dir, print_grid, quick_from_env,
-    relative_speedup_pct, scale_from_env, wan_machine, write_csv, BenchError,
+    relative_speedup_pct, scale_from_env, wan_machine_with, write_csv, BenchError,
 };
 
 /// Every engine-backed target, in the order `--target all` runs them.
-pub const TARGETS: [&str; 5] = ["table1", "fig1", "fig3", "fig4", "hostile"];
+pub const TARGETS: [&str; 6] = ["table1", "fig1", "fig3", "fig4", "hostile", "topo"];
 
 /// Options for one engine-backed sweep.
 #[derive(Debug, Clone)]
@@ -41,6 +41,12 @@ pub struct SweepOpts {
     pub out: PathBuf,
     /// Maintain a progress line on stderr.
     pub progress: bool,
+    /// Wide-area wiring override (`--topology`). `None` keeps each target's
+    /// default: the paper targets run the DAS full mesh bit-identically to
+    /// builds without this field, and the `topo` target sweeps its whole
+    /// canonical shape list. `Some` re-wires the paper/hostile sweep
+    /// machines, and restricts `topo` to that single shape.
+    pub topology: Option<WanTopology>,
 }
 
 impl SweepOpts {
@@ -57,7 +63,23 @@ impl SweepOpts {
             jobs: engine::jobs_from_env(),
             out: out_dir()?,
             progress: true,
+            topology: None,
         })
+    }
+
+    /// Validates the topology override against the paper machine's cluster
+    /// count and returns it.
+    ///
+    /// # Errors
+    ///
+    /// [`BenchError::Sim`] (exit code 2 at the CLI) when the requested
+    /// shape does not fit [`crate::CLUSTERS`] clusters.
+    pub fn checked_topology(&self) -> Result<Option<WanTopology>, BenchError> {
+        if let Some(t) = self.topology {
+            t.validate(crate::CLUSTERS)
+                .map_err(|e| BenchError::Sim(format!("--topology: {e}")))?;
+        }
+        Ok(self.topology)
     }
 
     fn scale_name(&self) -> String {
@@ -85,6 +107,7 @@ pub fn run_target(name: &str, opts: &SweepOpts) -> Result<BenchSummary, BenchErr
         "fig3" => run_fig3(opts),
         "fig4" => run_fig4(opts),
         "hostile" => crate::hostile::run_hostile(opts),
+        "topo" => crate::topo::run_topo(opts),
         other => Err(BenchError::Sim(format!(
             "unknown bench target '{other}' (expected one of {})",
             TARGETS.join(", ")
@@ -162,6 +185,7 @@ pub fn run_fig3(opts: &SweepOpts) -> Result<BenchSummary, BenchError> {
         Grid(AppId, Variant, f64, f64),
     }
     let cfg = SuiteConfig::at(opts.scale);
+    let topology = opts.checked_topology()?;
     let (lats, bws) = paper_grid(opts.quick);
     let mut cells = Vec::new();
     for app in AppId::ALL {
@@ -189,7 +213,9 @@ pub fn run_fig3(opts: &SweepOpts) -> Result<BenchSummary, BenchError> {
     let t0 = Instant::now();
     let outs = sweep(&cells, opts, "fig3", |cell| match *cell {
         Cell::Base(app) => app_cell(app, &cfg, Variant::Unoptimized, &baseline_machine()),
-        Cell::Grid(app, variant, lat, bw) => app_cell(app, &cfg, variant, &wan_machine(lat, bw)),
+        Cell::Grid(app, variant, lat, bw) => {
+            app_cell(app, &cfg, variant, &wan_machine_with(lat, bw, topology))
+        }
     })?;
     let mut summary = BenchSummary::new("fig3", opts.scale_name(), opts.quick, opts.jobs);
     summary.wall_s = t0.elapsed().as_secs_f64();
@@ -271,6 +297,7 @@ pub fn run_fig4(opts: &SweepOpts) -> Result<BenchSummary, BenchError> {
         Lat(AppId, f64),
     }
     let cfg = SuiteConfig::at(opts.scale);
+    let topology = opts.checked_topology()?;
     let (lats, bws) = paper_grid(opts.quick);
     let mut cells = Vec::new();
     for app in AppId::ALL {
@@ -297,13 +324,13 @@ pub fn run_fig4(opts: &SweepOpts) -> Result<BenchSummary, BenchError> {
             app,
             &cfg,
             surviving_variant(app),
-            &wan_machine(FIG4_FIXED_LATENCY_MS, bw),
+            &wan_machine_with(FIG4_FIXED_LATENCY_MS, bw, topology),
         ),
         Cell::Lat(app, lat) => app_cell(
             app,
             &cfg,
             surviving_variant(app),
-            &wan_machine(lat, FIG4_FIXED_BANDWIDTH_MBS),
+            &wan_machine_with(lat, FIG4_FIXED_BANDWIDTH_MBS, topology),
         ),
     })?;
     let mut summary = BenchSummary::new("fig4", opts.scale_name(), opts.quick, opts.jobs);
@@ -474,6 +501,7 @@ pub fn run_table1(opts: &SweepOpts) -> Result<BenchSummary, BenchError> {
 /// programs at the 0.5 ms / 6 MB/s operating point.
 pub fn run_fig1(opts: &SweepOpts) -> Result<BenchSummary, BenchError> {
     let cfg = SuiteConfig::at(opts.scale);
+    let topology = opts.checked_topology()?;
     let cells = AppId::ALL.to_vec();
     println!(
         "== Figure 1: inter-cluster traffic, 4 clusters x 8, link {} ms / {} MB/s \
@@ -486,7 +514,7 @@ pub fn run_fig1(opts: &SweepOpts) -> Result<BenchSummary, BenchError> {
             app,
             &cfg,
             Variant::Unoptimized,
-            &wan_machine(FIG1_LATENCY_MS, FIG1_BANDWIDTH_MBS),
+            &wan_machine_with(FIG1_LATENCY_MS, FIG1_BANDWIDTH_MBS, topology),
         )
     })?;
     let mut summary = BenchSummary::new("fig1", opts.scale_name(), opts.quick, opts.jobs);

@@ -21,6 +21,7 @@ fn opts(jobs: usize, out: &Path) -> SweepOpts {
         jobs,
         out: out.to_path_buf(),
         progress: false,
+        topology: None,
     }
 }
 

@@ -39,7 +39,7 @@ use numagap_bench::targets::{run_target, SweepOpts, TARGETS};
 use numagap_model::{run_predict, PredictOpts};
 use numagap_net::{
     numa_gap, CrossTrafficPlan, FaultPlan, HeteroPreset, LinkParams, LinkSchedule, Topology,
-    TwoLayerSpec,
+    TwoLayerSpec, WanTopology,
 };
 use numagap_rt::{Machine, TransportConfig};
 use numagap_sim::{SimDuration, SimTime, TieBreak};
@@ -171,6 +171,9 @@ pub struct MachineArgs {
     pub reorder: f64,
     /// Gateway crash-restart windows: `(cluster, from_ms, until_ms)`.
     pub outages: Vec<(usize, f64, f64)>,
+    /// Wide-area wiring between cluster gateways (`--topology`); the
+    /// default full mesh reproduces the paper's machine bit-for-bit.
+    pub wan_topology: WanTopology,
 }
 
 impl Default for MachineArgs {
@@ -193,6 +196,7 @@ impl Default for MachineArgs {
             duplicate: 0.0,
             reorder: 0.0,
             outages: Vec::new(),
+            wan_topology: WanTopology::FullMesh,
         }
     }
 }
@@ -275,6 +279,7 @@ impl MachineArgs {
     pub fn spec(&self) -> TwoLayerSpec {
         let mut spec = TwoLayerSpec::new(self.topology())
             .inter(LinkParams::wide_area(self.latency_ms, self.bandwidth_mbs))
+            .wan_topology(self.wan_topology)
             .wan_latency_jitter(self.jitter);
         if self.cross_traffic > 0.0 {
             spec = spec.cross_traffic(
@@ -408,6 +413,11 @@ pub struct BenchArgs {
     /// In `--compare`, check only deterministic fields (for baselines
     /// recorded on different hardware).
     pub virtual_only: bool,
+    /// Wide-area wiring override (`--topology`): re-wires the paper
+    /// targets' WAN machines and restricts `--target topo` to one shape.
+    /// `None` (the default) keeps every target bit-identical to the
+    /// committed baselines.
+    pub topology: Option<WanTopology>,
 }
 
 /// Flags of the `selfperf` command.
@@ -435,6 +445,9 @@ pub struct HostileArgs {
     pub quick: bool,
     /// Output directory (`REPRO_OUT` / `bench_results` when unset).
     pub out: Option<String>,
+    /// Wide-area wiring override (`--topology`) applied to every scenario
+    /// machine; `None` keeps the full mesh the baseline was recorded on.
+    pub topology: Option<WanTopology>,
 }
 
 /// Flags of the `predict` command.
@@ -461,6 +474,9 @@ pub struct PredictArgs {
     /// Mean relative error bar (percent, per app/variant) for `--validate`
     /// findings.
     pub max_error: f64,
+    /// Wide-area wiring override (`--topology`) for both the recording
+    /// machine and every replayed grid point; `None` keeps the full mesh.
+    pub topology: Option<WanTopology>,
 }
 
 /// A parse failure with a user-facing message.
@@ -580,6 +596,9 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
     let mut perturb = false;
     let mut audit_root = None;
     let mut rules = false;
+    // `None` until --topology appears: bench/hostile/predict must tell an
+    // explicit full mesh apart from the (bit-identical) default.
+    let mut wan_topology: Option<WanTopology> = None;
     while let Some(flag) = it.next() {
         match flag {
             "--app" => apps.push(parse_app(take_value(flag, &mut it)?)?),
@@ -618,6 +637,12 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             "--outage" => machine
                 .outages
                 .push(parse_outage(take_value(flag, &mut it)?)?),
+            "--topology" => {
+                let t = WanTopology::parse(take_value(flag, &mut it)?)
+                    .map_err(|e| ParseError(format!("--topology: {e}")))?;
+                machine.wan_topology = t;
+                wan_topology = Some(t);
+            }
             "--verify" => verify = true,
             "--stones" => stones = parse_num(flag, take_value(flag, &mut it)?)?,
             "--trace" => trace = Some(take_value(flag, &mut it)?.to_string()),
@@ -789,6 +814,16 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             )));
         }
     }
+    // bench/hostile/predict run fixed 4-cluster machines regardless of
+    // --clusters; validate the shape against the machine they will build.
+    let topo_clusters = match cmd {
+        "bench" | "hostile" | "predict" => 4,
+        _ => machine.clusters,
+    };
+    machine
+        .wan_topology
+        .validate(topo_clusters)
+        .map_err(|e| ParseError(format!("--topology: {e}")))?;
     let app = apps.last().copied();
     match cmd {
         "run" => {
@@ -840,6 +875,7 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             compare: compare_paths,
             threshold,
             virtual_only,
+            topology: wan_topology,
         })),
         "selfperf" => Ok(Command::Selfperf(SelfperfArgs { jobs, quick, out })),
         "hostile" => Ok(Command::Hostile(HostileArgs {
@@ -847,6 +883,7 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             scale,
             quick,
             out,
+            topology: wan_topology,
         })),
         "predict" => Ok(Command::Predict(PredictArgs {
             apps,
@@ -859,6 +896,7 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             ref_bandwidth,
             validate,
             max_error,
+            topology: wan_topology,
         })),
         "info" => Ok(Command::Info(machine)),
         "awari-db" => Ok(Command::AwariDb { stones, machine }),
@@ -899,6 +937,17 @@ MACHINE OPTIONS:
   --latency <ms>             one-way WAN latency        [default: 10]
   --bandwidth <MB/s>         WAN bandwidth per link     [default: 1.0]
   --jitter <0..1>            WAN latency variation      [default: 0]
+  --topology <shape>         wide-area wiring between cluster gateways:
+                             mesh (fully connected) | star[:hub] | ring |
+                             line | torus:XxY[xZ] | fattree[:pod] |
+                             dragonfly[:groups]        [default: mesh]
+                             Multi-hop shapes store-and-forward at every
+                             intermediate gateway/switch; routes are
+                             deterministic (dimension-ordered / up-down,
+                             ties toward the smaller node id). The shape
+                             must fit the cluster count (exit 2 if not);
+                             bench/hostile/predict validate against their
+                             fixed 4-cluster machine.
 
 HOSTILE-NETWORK OPTIONS (any command; soak sweeps comma lists of the
 first three as matrix dimensions):
@@ -944,8 +993,11 @@ SOAK OPTIONS:
   and full command line.
 
 BENCH OPTIONS:
-  --target <name>            table1 | fig1 | fig3 | fig4 | hostile | all
-                             [default: all]
+  --target <name>            table1 | fig1 | fig3 | fig4 | hostile | topo
+                             | all                      [default: all]
+  --topology <shape>         re-wire the WAN layer of the paper targets;
+                             for --target topo, restrict the sweep to one
+                             shape (default: all seven canonical shapes)
   --jobs <N>                 worker threads [default: REPRO_JOBS, else cores]
   --scale <small|medium|paper>  problem size            [default: medium]
   --quick                    coarse grids (same as REPRO_QUICK=1)
@@ -1063,6 +1115,11 @@ pub fn execute(cmd: Command) -> i32 {
                 spec.inter.latency,
                 spec.inter.mbytes_per_sec(),
                 spec.wan_latency_jitter * 100.0
+            );
+            println!(
+                "wan:     {} ({} routing node(s))",
+                spec.wan_topology.label(),
+                spec.wan_topology.nnodes(spec.topology.nclusters())
             );
             println!("NUMA gap: {lat_gap:.0}x latency, {bw_gap:.1}x bandwidth");
             if let Some(plan) = &spec.fault_plan {
@@ -1411,6 +1468,7 @@ pub fn execute_bench(args: &BenchArgs) -> i32 {
             jobs: args.jobs.unwrap_or_else(engine::jobs_from_env),
             out,
             progress: true,
+            topology: args.topology,
         };
         let names: Vec<&str> = if args.target == "all" {
             TARGETS.to_vec()
@@ -1458,6 +1516,7 @@ pub fn execute_selfperf(args: &SelfperfArgs) -> i32 {
         jobs: args.jobs.unwrap_or_else(engine::jobs_from_env),
         out,
         progress: true,
+        topology: None,
     };
     match numagap_bench::selfperf::run_selfperf(&opts) {
         Ok(_) => 0,
@@ -1494,6 +1553,7 @@ pub fn execute_hostile(args: &HostileArgs) -> i32 {
         jobs: args.jobs.unwrap_or_else(engine::jobs_from_env),
         out,
         progress: true,
+        topology: args.topology,
     };
     match numagap_bench::hostile::run_hostile(&opts) {
         Ok(_) => 0,
@@ -1589,6 +1649,9 @@ fn run_soak_cell(
             args.machine.degrade_latency,
             args.machine.degrade_bandwidth
         ));
+    }
+    if args.machine.wan_topology != WanTopology::FullMesh {
+        repro_cmd.push_str(&format!(" --topology {}", args.machine.wan_topology.flag()));
     }
     let (app_s, var_s) = (app.to_string(), variant.to_string());
     let (het_s, shape_s) = (hetero.to_string(), shape.to_string());
@@ -2059,6 +2122,7 @@ pub fn execute_predict(args: &PredictArgs) -> i32 {
         validate: args.validate,
         max_error_pct: args.max_error,
         progress: true,
+        wan_topology: args.topology,
     };
     let report = match run_predict(&opts) {
         Ok(r) => r,
@@ -2904,5 +2968,116 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(execute(cmd), 0);
+    }
+
+    #[test]
+    fn parses_topology_on_run_and_threads_it_into_the_spec() {
+        let cmd = parse(&["run", "--app", "asp", "--topology", "ring"]).unwrap();
+        match cmd {
+            Command::Run(args) => {
+                assert_eq!(args.machine.wan_topology, WanTopology::Ring);
+                assert_eq!(args.machine.spec().wan_topology, WanTopology::Ring);
+            }
+            other => panic!("expected run, got {other:?}"),
+        }
+        // The shape must fit the machine: a 2x2 torus needs 4 clusters.
+        let cmd = parse(&[
+            "run",
+            "--app",
+            "asp",
+            "--clusters",
+            "4",
+            "--topology",
+            "torus:2x2",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Run(args) => {
+                assert_eq!(
+                    args.machine.wan_topology,
+                    WanTopology::Torus2d { x: 2, y: 2 }
+                );
+            }
+            other => panic!("expected run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn topology_parses_on_every_subcommand() {
+        for argv in [
+            vec!["suite", "--topology", "star:1"],
+            vec!["check", "--topology", "line"],
+            vec!["soak", "--topology", "ring"],
+            vec!["info", "--topology", "fattree:2"],
+            vec!["awari-db", "--topology", "ring"],
+        ] {
+            assert!(parse(&argv).is_ok(), "{argv:?}");
+        }
+        match parse(&["bench", "--target", "topo", "--topology", "dragonfly:2"]).unwrap() {
+            Command::Bench(args) => {
+                assert_eq!(args.topology, Some(WanTopology::Dragonfly { groups: 2 }));
+            }
+            other => panic!("expected bench, got {other:?}"),
+        }
+        match parse(&["hostile", "--topology", "ring"]).unwrap() {
+            Command::Hostile(args) => assert_eq!(args.topology, Some(WanTopology::Ring)),
+            other => panic!("expected hostile, got {other:?}"),
+        }
+        match parse(&["predict", "--topology", "torus:2x2"]).unwrap() {
+            Command::Predict(args) => {
+                assert_eq!(args.topology, Some(WanTopology::Torus2d { x: 2, y: 2 }));
+            }
+            other => panic!("expected predict, got {other:?}"),
+        }
+        // Without the flag, bench-family commands see None so their
+        // artifacts stay bit-identical to the committed baselines.
+        match parse(&["bench", "--target", "fig3"]).unwrap() {
+            Command::Bench(args) => assert_eq!(args.topology, None),
+            other => panic!("expected bench, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_topologies_fail_parse_on_every_subcommand() {
+        // Unknown shape and malformed sizes are parse errors (exit 2).
+        assert!(parse(&["run", "--app", "asp", "--topology", "moebius"]).is_err());
+        assert!(parse(&["run", "--app", "asp", "--topology", "torus:2x"]).is_err());
+        assert!(parse(&["run", "--app", "asp", "--topology", "ring:3"]).is_err());
+        // Shape/machine mismatches: torus extents must multiply out to the
+        // cluster count, star hubs must exist, dragonfly groups must divide.
+        for argv in [
+            vec![
+                "run",
+                "--app",
+                "asp",
+                "--clusters",
+                "4",
+                "--topology",
+                "torus:2x3",
+            ],
+            vec!["suite", "--clusters", "3", "--topology", "star:3"],
+            vec!["check", "--clusters", "5", "--topology", "dragonfly:2"],
+            vec!["soak", "--clusters", "2,2,2", "--topology", "torus:2x2"],
+            vec!["info", "--clusters", "2", "--topology", "fattree:3"],
+            // bench/hostile/predict validate against their fixed 4-cluster
+            // machine no matter what --clusters says.
+            vec!["bench", "--target", "topo", "--topology", "torus:3x3"],
+            vec!["hostile", "--topology", "dragonfly:3"],
+            vec!["predict", "--topology", "star:7"],
+        ] {
+            assert!(parse(&argv).is_err(), "{argv:?} should be rejected");
+        }
+        // The same misfits at the execute layer exit 2, not 0/1.
+        let err = parse(&[
+            "run",
+            "--app",
+            "asp",
+            "--clusters",
+            "3",
+            "--topology",
+            "torus:2x2",
+        ]);
+        let msg = err.unwrap_err().to_string();
+        assert!(msg.contains("--topology"), "{msg}");
     }
 }

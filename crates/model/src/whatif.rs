@@ -15,10 +15,10 @@ use numagap_apps::{AppId, SuiteConfig, Variant};
 use numagap_bench::record::{BenchSummary, RunRecord};
 use numagap_bench::targets::{paper_grid, variants};
 use numagap_bench::{
-    baseline_machine, engine, relative_speedup_pct, wan_machine, BenchError, CLUSTERS,
+    baseline_machine, engine, relative_speedup_pct, wan_machine_with, BenchError, CLUSTERS,
     PROCS_PER_CLUSTER,
 };
-use numagap_net::das_spec;
+use numagap_net::{das_spec, WanTopology};
 use numagap_sim::SimDuration;
 
 use crate::critical::{critical_path, PathBreakdown};
@@ -57,6 +57,12 @@ pub struct PredictOpts {
     pub max_error_pct: f64,
     /// Emit engine progress lines on stderr.
     pub progress: bool,
+    /// Wide-area wiring override for the recording machine and every
+    /// replayed/validated grid point; `None` keeps the full mesh the paper
+    /// baselines use. The analytic replay charges each transfer per route
+    /// hop, so predictions stay aligned with the simulator under multi-hop
+    /// shapes.
+    pub wan_topology: Option<WanTopology>,
 }
 
 /// The tolerable-gap thresholds read off one sensitivity curve.
@@ -212,12 +218,20 @@ pub fn run_predict(opts: &PredictOpts) -> Result<PredictReport, BenchError> {
             "no (app, variant) pair matches the selection".to_string(),
         ));
     }
+    if let Some(t) = opts.wan_topology {
+        t.validate(CLUSTERS)
+            .map_err(|e| BenchError::Sim(format!("--topology: {e}")))?;
+    }
     let (lats, bws) = paper_grid(opts.quick);
     let progress = |label: &'static str| opts.progress.then_some(label);
 
     // 1. One recording run per pair at the reference point, plus one
     //    single-Myrinet baseline run per app (the speedup denominator).
-    let ref_machine = wan_machine(opts.ref_latency_ms, opts.ref_bandwidth_mbs);
+    let ref_machine = wan_machine_with(
+        opts.ref_latency_ms,
+        opts.ref_bandwidth_mbs,
+        opts.wan_topology,
+    );
     let recordings = engine::run_cells(&pairs, opts.jobs, progress("record"), |_, &(app, v)| {
         record_app(app, &cfg, v, &ref_machine).map_err(|e| format!("{app}/{v}: {e}"))
     });
@@ -256,7 +270,10 @@ pub fn run_predict(opts: &PredictOpts) -> Result<PredictReport, BenchError> {
         opts.jobs,
         progress("predict"),
         |_, &(pi, lat, bw)| {
-            let spec = das_spec(CLUSTERS, PROCS_PER_CLUSTER, lat, bw);
+            let mut spec = das_spec(CLUSTERS, PROCS_PER_CLUSTER, lat, bw);
+            if let Some(t) = opts.wan_topology {
+                spec = spec.wan_topology(t);
+            }
             replay(&dags[pi], &spec).elapsed
         },
     );
@@ -279,7 +296,7 @@ pub fn run_predict(opts: &PredictOpts) -> Result<PredictReport, BenchError> {
             progress("validate"),
             |_, &(pi, lat, bw)| {
                 let (app, v) = pairs[pi];
-                let machine = wan_machine(lat, bw);
+                let machine = wan_machine_with(lat, bw, opts.wan_topology);
                 numagap_apps::run_app(app, &cfg, v, &machine)
                     .map(|run| {
                         let key = format!("{app}/{v}/lat{lat}/bw{bw}");

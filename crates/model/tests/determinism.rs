@@ -17,6 +17,7 @@ fn opts(jobs: usize, validate: bool) -> PredictOpts {
         validate,
         max_error_pct: 10.0,
         progress: false,
+        wan_topology: None,
     }
 }
 

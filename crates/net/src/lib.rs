@@ -42,4 +42,4 @@ pub use presets::{
     PAPER_BANDWIDTHS_MBS, PAPER_LATENCIES_MS,
 };
 pub use topology::Topology;
-pub use wan::WanTopology;
+pub use wan::{RouteCursor, WanTopology};

@@ -14,7 +14,7 @@ use crate::fault::FaultPlan;
 use crate::hostile::{CrossTrafficPlan, LinkSchedule};
 use crate::link::{LinkParams, LinkState};
 use crate::topology::Topology;
-use crate::wan::WanTopology;
+use crate::wan::{RouteCursor, WanTopology};
 
 /// Full parameterization of a two-layer machine.
 ///
@@ -56,9 +56,9 @@ pub struct TwoLayerSpec {
     /// question about the impact of latency variation on wide-area links.
     pub wan_latency_jitter: f64,
     /// How the cluster gateways are wired (default: the DAS's full mesh).
-    /// Star and ring topologies route messages over multiple wide-area hops
-    /// through intermediate gateways — the paper's "less perfect" future
-    /// topologies.
+    /// Every other shape — star, ring, line, torus, fat tree, dragonfly —
+    /// routes messages over multiple wide-area hops through intermediate
+    /// gateways or switches — the paper's "less perfect" future topologies.
     pub wan_topology: WanTopology,
     /// Deterministic WAN fault injection, or `None` (the default) for a
     /// perfectly reliable network. When `None` the kernel never consults the
@@ -97,7 +97,7 @@ impl TwoLayerSpec {
         }
     }
 
-    /// Sets the wide-area wiring (full mesh, star, or ring).
+    /// Sets the wide-area wiring (see [`WanTopology`] for the shapes).
     pub fn wan_topology(mut self, topology: WanTopology) -> Self {
         self.wan_topology = topology;
         self
@@ -188,8 +188,10 @@ pub struct NetStats {
     pub inter_msgs_out: Vec<u64>,
     /// Outgoing inter-cluster payload bytes per source cluster.
     pub inter_bytes_out: Vec<u64>,
-    /// Busy time per ordered WAN link `(src_cluster, dst_cluster, busy)`.
-    /// Includes background cross-traffic occupancy when a plan is active.
+    /// Busy time per ordered WAN link `(from_node, to_node, busy)`. Nodes
+    /// are cluster gateways, or virtual switch ids `>= nclusters` on a fat
+    /// tree. Includes background cross-traffic occupancy when a plan is
+    /// active.
     pub wan_busy: Vec<(usize, usize, SimDuration)>,
     /// Background cross-traffic messages injected on WAN links.
     #[serde(default)]
@@ -219,9 +221,12 @@ pub struct TwoLayerNetwork {
     in_nic: Vec<LinkState>,
     gw_lan_in: Vec<LinkState>,
     gw_lan_out: Vec<LinkState>,
-    /// Per-gateway CPU (processes every message crossing it, both ways).
+    /// Per-routing-node store-and-forward CPU (processes every message
+    /// crossing it, both ways). Nodes `0..nclusters` are the cluster
+    /// gateways; a fat tree appends its virtual switches.
     gw_cpu: Vec<LinkState>,
-    /// `wan[src_cluster][dst_cluster]`; diagonal unused.
+    /// `wan[from_node][to_node]`; diagonal unused. One independent FIFO
+    /// link per directed node pair the topology can route over.
     wan: Vec<Vec<LinkState>>,
     /// Last fault-free arrival per ordered `(src, dst)` pair, indexed
     /// `src * nprocs + dst`. Gap-filling link occupancy lets a small late
@@ -236,11 +241,11 @@ pub struct TwoLayerNetwork {
     /// Per ordered cluster pair: how many fault decisions this link has
     /// drawn. Feeds the fault plan's split per-link decision streams.
     fault_seq: Vec<Vec<u64>>,
-    /// Next background cross-traffic departure per ordered cluster pair,
-    /// indexed `a * nclusters + b`. `SimTime::ZERO` means the stream has
+    /// Next background cross-traffic departure per ordered node pair,
+    /// indexed `a * nnodes + b`. `SimTime::ZERO` means the stream has
     /// not drawn its first gap yet (no gap draw is ever zero).
     xt_next: Vec<SimTime>,
-    /// Background messages already injected per ordered cluster pair.
+    /// Background messages already injected per ordered node pair.
     /// Indexes the cross-traffic plan's split per-link decision streams.
     xt_seq: Vec<u64>,
     stats: NetStats,
@@ -277,6 +282,12 @@ fn lan_hop(
 
 impl TwoLayerNetwork {
     /// Builds the network from a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec is inconsistent: a fault/cross-traffic plan or
+    /// link schedule with out-of-bounds parameters, or a wide-area topology
+    /// that does not fit the cluster count (see [`WanTopology::validate`]).
     pub fn new(spec: TwoLayerSpec) -> Self {
         let n = spec.topology.nprocs();
         let c = spec.topology.nclusters();
@@ -289,18 +300,25 @@ impl TwoLayerNetwork {
         if let Some(schedule) = &spec.link_schedule {
             schedule.validate();
         }
+        if let Err(e) = spec.wan_topology.validate(c) {
+            panic!("invalid wan topology: {e}");
+        }
+        // Routing nodes: the cluster gateways plus any virtual switches the
+        // topology introduces. On the default full mesh nn == c, so every
+        // resource vector is sized exactly as before.
+        let nn = spec.wan_topology.nnodes(c);
         TwoLayerNetwork {
             out_nic: vec![LinkState::default(); n],
             in_nic: vec![LinkState::default(); n],
             gw_lan_in: vec![LinkState::default(); c],
             gw_lan_out: vec![LinkState::default(); c],
-            gw_cpu: vec![LinkState::default(); c],
-            wan: vec![vec![LinkState::default(); c]; c],
+            gw_cpu: vec![LinkState::default(); nn],
+            wan: vec![vec![LinkState::default(); nn]; nn],
             pair_floor: vec![SimTime::ZERO; n * n],
             jitter_seq: 0,
             fault_seq: vec![vec![0; c]; c],
-            xt_next: vec![SimTime::ZERO; c * c],
-            xt_seq: vec![0; c * c],
+            xt_next: vec![SimTime::ZERO; nn * nn],
+            xt_seq: vec![0; nn * nn],
             stats: NetStats {
                 inter_msgs_out: vec![0; c],
                 inter_bytes_out: vec![0; c],
@@ -342,7 +360,11 @@ impl TwoLayerNetwork {
             let u = plan.draw(a, b, 2 * k);
             SimDuration::from_nanos(((0.5 + u) * mean_gap_ns as f64).round() as u64)
         };
-        let idx = a * self.spec.topology.nclusters() + b;
+        let nn = self
+            .spec
+            .wan_topology
+            .nnodes(self.spec.topology.nclusters());
+        let idx = a * nn + b;
         if self.xt_next[idx] == SimTime::ZERO {
             self.xt_next[idx] = SimTime::ZERO + gap(0);
         }
@@ -368,9 +390,12 @@ impl TwoLayerNetwork {
     /// A snapshot of the traffic statistics (WAN busy times included).
     pub fn stats(&self) -> NetStats {
         let mut s = self.stats.clone();
-        let c = self.spec.topology.nclusters();
-        for a in 0..c {
-            for b in 0..c {
+        let nn = self
+            .spec
+            .wan_topology
+            .nnodes(self.spec.topology.nclusters());
+        for a in 0..nn {
+            for b in 0..nn {
                 if a != b && self.wan[a][b].msgs > 0 {
                     s.wan_busy.push((a, b, self.wan[a][b].busy));
                 }
@@ -421,18 +446,21 @@ impl Network for TwoLayerNetwork {
                 ready,
             );
             // Traverse the wide-area route (one hop on the full mesh, more
-            // through a star hub or around a ring). Every gateway the
-            // message touches charges its CPU (FIFO resource: this throttles
-            // each cluster's wide-area message rate), and every hop pays the
-            // link's serialization and latency.
+            // through a star hub, around a ring/torus, or up and down a fat
+            // tree). The cursor walks the route's directed links in order;
+            // every node the message touches charges its store-and-forward
+            // CPU (FIFO resource: this throttles each cluster's wide-area
+            // message rate), and every hop pays the link's serialization
+            // and latency. Because the kernel flushes same-instant sends in
+            // canonical order, each hop's booking is schedule-invariant.
             let occ = self.spec.gateway_overhead;
             let tx_wan = self.spec.inter.tx_time(size);
-            let route = self
-                .spec
-                .wan_topology
-                .route(cs, cd, self.spec.topology.nclusters());
-            for hop in route.windows(2) {
-                let (a, b) = (hop[0], hop[1]);
+            let mut cursor = RouteCursor::new(self.spec.wan_topology.route(
+                cs,
+                cd,
+                self.spec.topology.nclusters(),
+            ));
+            while let Some((a, b)) = cursor.advance() {
                 let wan_ready = self.gw_cpu[a].acquire(at, occ, size) + occ;
                 // Time-varying link quality: sample the schedule at the
                 // instant the message is ready to enter the link.
@@ -859,6 +887,67 @@ mod wan_topology_tests {
         let near = ring.transfer(ProcId(0), ProcId(2), 100, SimTime::ZERO); // cluster 1
         let far = ring.transfer(ProcId(0), ProcId(4), 100, SimTime::ZERO); // cluster 2 (2 hops)
         assert!(far.arrival.since(SimTime::ZERO) > near.arrival.since(SimTime::ZERO));
+    }
+
+    #[test]
+    fn fat_tree_books_virtual_switch_hops() {
+        // 4 clusters, pod 2: cross-pod messages pay leaf -> edge -> core ->
+        // edge -> leaf (4 WAN hops) through virtual switch nodes.
+        let mut mesh = spec(WanTopology::FullMesh).build();
+        let mut tree = spec(WanTopology::FatTree { pod: 2 }).build();
+        let direct = mesh.transfer(ProcId(0), ProcId(4), 1000, SimTime::ZERO);
+        let routed = tree.transfer(ProcId(0), ProcId(4), 1000, SimTime::ZERO);
+        // Three extra WAN hops: at least 30 ms more latency.
+        let gap = routed.arrival.since(direct.arrival);
+        assert!(gap >= SimDuration::from_millis(30), "gap {gap}");
+        // The busy links include virtual switch nodes (ids >= 4).
+        let s = tree.stats();
+        assert!(
+            s.wan_busy.iter().any(|&(a, b, _)| a >= 4 || b >= 4),
+            "fat-tree traffic must occupy virtual switch links: {:?}",
+            s.wan_busy
+        );
+    }
+
+    #[test]
+    fn fat_tree_cores_split_by_destination() {
+        // Destinations 2 and 3 hash to different core switches (dst % pod),
+        // so two cross-pod streams from cluster 0 share only the up-link to
+        // the edge switch, not the core.
+        let mut tree = spec(WanTopology::FatTree { pod: 2 }).build();
+        tree.transfer(ProcId(0), ProcId(4), 1000, SimTime::ZERO);
+        tree.transfer(ProcId(1), ProcId(6), 1000, SimTime::ZERO);
+        let s = tree.stats();
+        // Edge switch for pod 0 is node 4; cores are nodes 6 and 7.
+        assert!(s.wan_busy.iter().any(|&(a, b, _)| (a, b) == (4, 6)));
+        assert!(s.wan_busy.iter().any(|&(a, b, _)| (a, b) == (4, 7)));
+    }
+
+    #[test]
+    fn dragonfly_global_link_is_shared_per_group_pair() {
+        // All traffic between two dragonfly groups funnels over the single
+        // global link; on the mesh every cluster pair has its own.
+        let run = |topology: WanTopology| {
+            let mut net = spec(topology).build();
+            let mut last = SimTime::ZERO;
+            for i in 0..12u64 {
+                // Clusters 0/1 (group 0) to clusters 2/3 (group 1).
+                let src = ProcId((i % 4) as usize); // ranks 0..3 = clusters 0, 1
+                let dst = ProcId(4 + (i % 4) as usize); // clusters 2, 3
+                let t = net.transfer(src, dst, 50_000, SimTime::ZERO);
+                last = last.max(t.arrival);
+            }
+            last
+        };
+        let mesh_last = run(WanTopology::FullMesh);
+        let fly_last = run(WanTopology::Dragonfly { groups: 2 });
+        assert!(fly_last > mesh_last, "{fly_last} vs {mesh_last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid wan topology")]
+    fn build_rejects_a_misfit_topology() {
+        let _ = spec(WanTopology::Torus2d { x: 3, y: 2 }).build();
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 use numagap_net::{
     CrossTrafficPlan, FaultPlan, LinkParams, LinkSchedule, LinkState, Topology, TwoLayerSpec,
+    WanTopology,
 };
 use numagap_sim::{Network, ProcId, SimDuration, SimTime, Tag};
 
@@ -400,6 +401,170 @@ fn hostile_plans_replay_exactly_from_the_seed() {
     };
     assert_eq!(run(7), run(7), "same seed must replay bit-identically");
     assert_ne!(run(7), run(8), "different seeds must differ");
+}
+
+/// Every shape that fits a drawn cluster count yields routes that are
+/// deterministic (recomputation is bit-identical) and cycle-free (no
+/// routing node appears twice), with endpoints anchored at the gateways.
+#[test]
+fn wan_routes_are_deterministic_and_cycle_free() {
+    for seed in 1..=24u64 {
+        let mut rng = Rng::new(seed ^ 0x70_B0);
+        let n = 2 + rng.below(10) as usize;
+        let shapes = [
+            WanTopology::FullMesh,
+            WanTopology::Star {
+                hub: rng.below(n as u64) as usize,
+            },
+            WanTopology::Ring,
+            WanTopology::Line,
+            WanTopology::Torus2d { x: 2, y: n / 2 },
+            WanTopology::Torus3d {
+                x: 2,
+                y: 2,
+                z: n / 4,
+            },
+            WanTopology::FatTree {
+                pod: 2 + rng.below((n - 1) as u64) as usize,
+            },
+            WanTopology::Dragonfly {
+                groups: (2..=n).find(|&g| n.is_multiple_of(g)).unwrap_or(n),
+            },
+        ];
+        for shape in shapes {
+            if shape.validate(n).is_err() {
+                continue;
+            }
+            let nnodes = shape.nnodes(n);
+            for src in 0..n {
+                for dst in 0..n {
+                    if src == dst {
+                        continue;
+                    }
+                    let route = shape.route(src, dst, n);
+                    assert_eq!(
+                        route,
+                        shape.route(src, dst, n),
+                        "{}: recomputed route differs",
+                        shape.label()
+                    );
+                    assert_eq!(route[0], src, "{}", shape.label());
+                    assert_eq!(*route.last().unwrap(), dst, "{}", shape.label());
+                    assert!(
+                        route.iter().all(|&c| c < nnodes),
+                        "{}: node out of range in {route:?}",
+                        shape.label()
+                    );
+                    let mut seen = route.clone();
+                    seen.sort_unstable();
+                    seen.dedup();
+                    assert_eq!(
+                        seen.len(),
+                        route.len(),
+                        "{}: route {route:?} revisits a node",
+                        shape.label()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Per-pair FIFO survives multi-hop store-and-forward: randomized traffic
+/// between fixed processor pairs over a ring (every cluster-0 -> cluster-2
+/// message relays through cluster 1, contending with direct 0 -> 1 and
+/// 1 -> 2 traffic on the shared directed links) still arrives in send
+/// order, and the relay's directed links are the ones that got busy.
+#[test]
+fn same_pair_traffic_stays_fifo_under_multi_hop_contention() {
+    for seed in 1..=8u64 {
+        let mut rng = Rng::new(seed ^ 0x217);
+        let mut net = wan_spec(0.0).wan_topology(WanTopology::Ring).build();
+        // Both watched pairs cross cluster boundaries; the 0 -> 16 pair
+        // needs two WAN hops (0 -> 1 -> 2 on the 4-ring).
+        let pairs = [(ProcId(0), ProcId(16)), (ProcId(1), ProcId(9))];
+        let mut last_arrival = [SimTime::ZERO; 2];
+        let mut now = SimTime::ZERO;
+        for i in 0..400 {
+            now += SimDuration::from_micros(rng.below(200));
+            let which = rng.below(3) as usize;
+            if which < 2 {
+                let (src, dst) = pairs[which];
+                let bytes = rng.below(20_000);
+                let t = net.transfer(src, dst, bytes, now);
+                assert!(t.sender_free >= now, "seed {seed} op {i}");
+                assert!(
+                    t.arrival >= last_arrival[which],
+                    "seed {seed} op {i}: pair {which} reordered ({} < {})",
+                    t.arrival,
+                    last_arrival[which]
+                );
+                last_arrival[which] = t.arrival;
+            } else {
+                // Contending traffic on the relay's second hop (1 -> 2).
+                let _ = net.transfer(ProcId(8 + rng.below(8) as usize), ProcId(17), 5_000, now);
+            }
+        }
+        let busy: Vec<(usize, usize)> = net
+            .stats()
+            .wan_busy
+            .iter()
+            .map(|&(a, b, _)| (a, b))
+            .collect();
+        assert!(
+            busy.contains(&(0, 1)) && busy.contains(&(1, 2)),
+            "seed {seed}: relayed traffic must book both ring hops, got {busy:?}"
+        );
+        assert!(
+            !busy.contains(&(0, 2)),
+            "seed {seed}: the ring has no direct 0 -> 2 link, got {busy:?}"
+        );
+    }
+}
+
+/// The fully connected default reproduces the legacy single-hop timings
+/// bit-for-bit: a spec that never mentions `WanTopology` and one that sets
+/// `FullMesh` explicitly time identical randomized workloads identically,
+/// and on two clusters — where ring, line, and mesh all degenerate to the
+/// same single link — every shape agrees with the mesh exactly.
+#[test]
+fn full_mesh_reproduces_single_hop_timings_bit_for_bit() {
+    let workload = |spec: TwoLayerSpec, nprocs: u64, seed: u64| {
+        let mut net = spec.build();
+        let mut rng = Rng::new(seed ^ 0xFACE);
+        let mut out = Vec::new();
+        let mut now = SimTime::ZERO;
+        for _ in 0..500 {
+            now += SimDuration::from_micros(rng.below(150));
+            let src = ProcId(rng.below(nprocs) as usize);
+            let dst = ProcId(rng.below(nprocs) as usize);
+            let t = net.transfer(src, dst, rng.below(30_000), now);
+            out.push((t.arrival.as_nanos(), t.sender_free.as_nanos()));
+        }
+        out
+    };
+    for seed in 1..=6u64 {
+        assert_eq!(
+            workload(wan_spec(0.3), 32, seed),
+            workload(wan_spec(0.3).wan_topology(WanTopology::FullMesh), 32, seed),
+            "seed {seed}: explicit FullMesh must be bit-identical to the default"
+        );
+        let two =
+            || TwoLayerSpec::new(Topology::symmetric(2, 4)).inter(LinkParams::wide_area(2.0, 1.5));
+        let mesh = workload(two(), 8, seed);
+        for shape in [
+            WanTopology::Ring,
+            WanTopology::Line,
+            WanTopology::Star { hub: 0 },
+        ] {
+            assert_eq!(
+                workload(two().wan_topology(shape), 8, seed),
+                mesh,
+                "seed {seed}: {} on 2 clusters must match the mesh exactly",
+                shape.label()
+            );
+        }
+    }
 }
 
 /// Schedule curves respect their own bounds at every instant and shape:

@@ -216,12 +216,12 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     /// `WanTopology::route`/`hops` over every topology family and cluster
-    /// count: routes connect the endpoints, visit no cluster twice
+    /// count: routes connect the endpoints, visit no node twice
     /// (cycle-free), stay in range, and hop counts are symmetric and within
     /// each family's diameter.
     #[test]
     fn wan_routes_are_sound(
-        kind in 0usize..3,
+        kind in 0usize..7,
         nclusters in 2usize..10,
         hub_raw in 0usize..64,
         a_raw in 0usize..64,
@@ -229,22 +229,38 @@ proptest! {
     ) {
         use twolayer::net::WanTopology;
         let hub = hub_raw % nclusters;
+        // Shapes with a size constraint fall back to Ring when the drawn
+        // cluster count cannot satisfy it.
         let topo = match kind {
             0 => WanTopology::FullMesh,
             1 => WanTopology::Star { hub },
+            2 => WanTopology::Line,
+            3 => WanTopology::FatTree { pod: 2 + hub_raw % (nclusters - 1).max(1) },
+            4 => {
+                let groups = (2..=nclusters).find(|g| nclusters % g == 0);
+                match groups {
+                    Some(g) => WanTopology::Dragonfly { groups: g },
+                    None => WanTopology::Ring,
+                }
+            }
+            5 if nclusters % 2 == 0 && nclusters >= 4 => {
+                WanTopology::Torus2d { x: 2, y: nclusters / 2 }
+            }
             _ => WanTopology::Ring,
         };
+        prop_assert!(topo.validate(nclusters).is_ok(), "generator must yield valid shapes");
         let a = a_raw % nclusters;
         let b = b_raw % nclusters;
         if a != b {
+            let nnodes = topo.nnodes(nclusters);
             let route = topo.route(a, b, nclusters);
             prop_assert_eq!(route[0], a, "route must start at the source");
             prop_assert_eq!(*route.last().unwrap(), b, "route must end at the destination");
-            prop_assert!(route.iter().all(|&c| c < nclusters), "cluster out of range");
+            prop_assert!(route.iter().all(|&c| c < nnodes), "routing node out of range");
             let mut seen = route.clone();
             seen.sort_unstable();
             seen.dedup();
-            prop_assert_eq!(seen.len(), route.len(), "route revisits a cluster: {:?}", route);
+            prop_assert_eq!(seen.len(), route.len(), "route revisits a node: {:?}", route);
             prop_assert_eq!(topo.hops(a, b, nclusters), route.len() - 1);
             prop_assert_eq!(
                 topo.hops(a, b, nclusters),
@@ -255,6 +271,11 @@ proptest! {
                 WanTopology::FullMesh => 1,
                 WanTopology::Star { .. } => 2,
                 WanTopology::Ring => nclusters / 2,
+                WanTopology::Line => nclusters - 1,
+                WanTopology::Torus2d { x, y } => x / 2 + y / 2,
+                WanTopology::Torus3d { x, y, z } => x / 2 + y / 2 + z / 2,
+                WanTopology::FatTree { .. } => 4,
+                WanTopology::Dragonfly { .. } => 3,
             };
             prop_assert!(route.len() > 1, "distinct clusters need at least one hop");
             prop_assert!(
