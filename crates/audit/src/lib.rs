@@ -194,6 +194,20 @@ pub const WAIVERS: &[Waiver] = &[
         reason: "wall-clock stopwatch around topology sweep cells, recorded as \
                  wall_s only; the scorecard and compare gate read virtual fields",
     },
+    Waiver {
+        rule: "ND002",
+        path_suffix: "serve/src/http.rs",
+        token: "Instant::now",
+        reason: "per-request deadline clock: bounds socket read/write timeouts and \
+                 answers 408; response bodies never read it",
+    },
+    Waiver {
+        rule: "ND002",
+        path_suffix: "serve/src/bench.rs",
+        token: "Instant::now",
+        reason: "wall-clock stopwatch around serve bench cells, recorded as wall_s \
+                 and serve_timing.csv only; serve.csv and compare read virtual fields",
+    },
     // ── ND005: reductions over index-ordered slices ──
     Waiver {
         rule: "ND005",

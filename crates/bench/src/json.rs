@@ -5,8 +5,28 @@
 //! this hand-rolled module instead — the same approach the tracing layer
 //! takes for Chrome trace JSON. The subset implemented is full JSON minus
 //! non-finite numbers (which never occur in bench records).
+//!
+//! Since `numagap serve` feeds this parser raw network bytes, it is
+//! hardened for untrusted input: nesting is capped at [`MAX_DEPTH`] (the
+//! recursive-descent parser would otherwise overflow the stack), number
+//! tokens are capped at [`MAX_NUMBER_LEN`] bytes, and numbers that do not
+//! fit a finite `f64` (e.g. `1e400`) are rejected. Every violation is a
+//! typed [`JsonError`] with a byte offset — never a panic.
 
 use std::fmt;
+
+/// Maximum container nesting depth accepted by [`parse`]. Hand-written
+/// bench artifacts nest 3 deep; 128 leaves generous headroom while keeping
+/// adversarial documents (`[[[[…`) from exhausting the parser's stack.
+pub const MAX_DEPTH: usize = 128;
+
+/// Maximum accepted length of one number token, in bytes. The bench
+/// writers print floats with `{}` (plain decimal, never scientific), so a
+/// legitimate token can be long: `f64::MAX` is 309 digits and the smallest
+/// denormal about 342 characters. 512 covers every finite `f64` spelling
+/// the workspace emits while bounding what an adversarial document can
+/// make the scanner chew on.
+pub const MAX_NUMBER_LEN: usize = 512;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -120,6 +140,7 @@ pub fn parse(input: &str) -> Result<Json, JsonError> {
     let mut p = Parser {
         b: input.as_bytes(),
         i: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -133,6 +154,8 @@ pub fn parse(input: &str) -> Result<Json, JsonError> {
 struct Parser<'a> {
     b: &'a [u8],
     i: usize,
+    /// Current container nesting depth, bounded by [`MAX_DEPTH`].
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -193,11 +216,21 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err(&format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.eat(b']') {
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -205,6 +238,7 @@ impl Parser<'_> {
             items.push(self.value()?);
             self.skip_ws();
             if self.eat(b']') {
+                self.depth -= 1;
                 return Ok(Json::Arr(items));
             }
             self.expect(b',')?;
@@ -213,9 +247,11 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.eat(b'}') {
+            self.depth -= 1;
             return Ok(Json::Obj(members));
         }
         loop {
@@ -228,6 +264,7 @@ impl Parser<'_> {
             members.push((key, value));
             self.skip_ws();
             if self.eat(b'}') {
+                self.depth -= 1;
                 return Ok(Json::Obj(members));
             }
             self.expect(b',')?;
@@ -318,12 +355,22 @@ impl Parser<'_> {
             .get(self.i)
             .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
         {
+            if self.i - start >= MAX_NUMBER_LEN {
+                return Err(self.err(&format!("number longer than {MAX_NUMBER_LEN} bytes")));
+            }
             self.i += 1;
         }
         let text = std::str::from_utf8(&self.b[start..self.i]).expect("ascii number");
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err(&format!("invalid number '{text}'")))
+        let n: f64 = text
+            .parse()
+            .map_err(|_| self.err(&format!("invalid number '{text}'")))?;
+        // `str::parse` saturates huge exponents to infinity; JSON has no
+        // non-finite numbers, so an overflowing token is a parse error,
+        // not a silent `inf` handed to downstream arithmetic.
+        if !n.is_finite() {
+            return Err(self.err(&format!("number '{text}' does not fit a finite f64")));
+        }
+        Ok(Json::Num(n))
     }
 }
 
@@ -432,5 +479,167 @@ mod tests {
         }
         let err = parse("[1, x]").unwrap_err();
         assert!(err.to_string().contains("byte 4"), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_a_typed_error() {
+        for (doc, tail_at) in [("{} x", 3), ("[1]]", 3), ("1true", 1), ("null,", 4)] {
+            let err = parse(doc).unwrap_err();
+            assert_eq!(err.at, tail_at, "{doc:?}: {err}");
+            assert!(err.msg.contains("trailing"), "{doc:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn nesting_is_capped_not_stack_overflowed() {
+        // One level under the cap parses; at the cap it is a typed error.
+        let ok = format!("{}null{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+        let deep = format!(
+            "{}null{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        let err = parse(&deep).unwrap_err();
+        assert!(err.msg.contains("nesting"), "{err}");
+        // An adversarial unterminated ramp (the classic parser-killer)
+        // fails fast instead of recursing 100k frames deep.
+        let ramp = "[".repeat(100_000);
+        let err = parse(&ramp).unwrap_err();
+        assert!(err.msg.contains("nesting"), "{err}");
+        let objs = "{\"a\":".repeat(100_000);
+        assert!(parse(&objs).is_err());
+        // Mixed nesting counts both container kinds against one cap.
+        let mixed = "[{\"k\":".repeat(MAX_DEPTH) + "null";
+        assert!(parse(&mixed).unwrap_err().msg.contains("nesting"));
+    }
+
+    #[test]
+    fn oversized_numbers_are_rejected() {
+        // Exponent overflow saturates f64 to infinity; both signs rejected.
+        for bad in ["1e400", "-1e400", "1e99999", "-2.5E+308999"] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.msg.contains("finite"), "{bad}: {err}");
+        }
+        // Token-length bomb: a number longer than the cap errors instead of
+        // scanning unboundedly.
+        let long = "1".repeat(MAX_NUMBER_LEN + 1);
+        let err = parse(&long).unwrap_err();
+        assert!(err.msg.contains("longer"), "{err}");
+        // The extremes of f64 still parse: the cap rejects only tokens no
+        // finite double can need.
+        assert_eq!(
+            parse(&format!("{}", f64::MAX)).unwrap().as_f64(),
+            Some(f64::MAX)
+        );
+        assert_eq!(parse("1e308").unwrap().as_f64(), Some(1e308));
+        assert_eq!(parse("-4.9e-324").unwrap().as_f64(), Some(-4.9e-324));
+    }
+
+    /// Deterministic xorshift for the fuzz-style tests (no external RNG in
+    /// the workspace, and tests must reproduce bit-identically).
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    #[test]
+    fn malformed_mutations_never_panic() {
+        // Byte-level mutations of a valid document: every outcome must be
+        // Ok or a typed error — a panic (or non-UTF-8 rejection reached
+        // through the &str API) fails the test by unwinding.
+        let seed_doc = r#"{"app":"asp","points":[[10.0,0.3],[0.5,6.3]],"mode":"analytic","n":-17}"#;
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        for _ in 0..2000 {
+            let mut bytes = seed_doc.as_bytes().to_vec();
+            let edits = 1 + (xorshift(&mut state) % 4) as usize;
+            for _ in 0..edits {
+                let pos = (xorshift(&mut state) as usize) % bytes.len();
+                match xorshift(&mut state) % 3 {
+                    0 => bytes[pos] = (xorshift(&mut state) % 128) as u8,
+                    1 => {
+                        bytes.remove(pos);
+                        if bytes.is_empty() {
+                            bytes.push(b'0');
+                        }
+                    }
+                    _ => bytes.insert(pos, (xorshift(&mut state) % 128) as u8),
+                }
+            }
+            if let Ok(s) = std::str::from_utf8(&bytes) {
+                let _ = parse(s);
+            }
+        }
+    }
+
+    /// Serializes a [`Json`] value back to text the way the bench writers
+    /// do (shortest-round-trip floats, escaped strings).
+    fn unparse(v: &Json) -> String {
+        match v {
+            Json::Null => "null".to_string(),
+            Json::Bool(b) => b.to_string(),
+            Json::Num(n) => format!("{n}"),
+            Json::Str(s) => format!("\"{}\"", escape(s)),
+            Json::Arr(items) => {
+                let inner: Vec<String> = items.iter().map(unparse).collect();
+                format!("[{}]", inner.join(","))
+            }
+            Json::Obj(members) => {
+                let inner: Vec<String> = members
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\":{}", escape(k), unparse(v)))
+                    .collect();
+                format!("{{{}}}", inner.join(","))
+            }
+        }
+    }
+
+    /// Builds a pseudo-random document of bounded depth from the seed.
+    fn gen_doc(state: &mut u64, depth: usize) -> Json {
+        match if depth == 0 {
+            xorshift(state) % 4
+        } else {
+            xorshift(state) % 6
+        } {
+            0 => Json::Null,
+            1 => Json::Bool(xorshift(state).is_multiple_of(2)),
+            2 => {
+                // Integers and dyadic fractions round-trip exactly through
+                // shortest-form printing.
+                let n = (xorshift(state) % 2_000_000) as i64 - 1_000_000;
+                Json::Num(n as f64 / 64.0)
+            }
+            3 => {
+                let len = xorshift(state) % 12;
+                Json::Str(
+                    (0..len)
+                        .map(|_| char::from_u32((xorshift(state) % 0xD7FF) as u32).unwrap_or('x'))
+                        .collect(),
+                )
+            }
+            4 => Json::Arr(
+                (0..xorshift(state) % 5)
+                    .map(|_| gen_doc(state, depth - 1))
+                    .collect(),
+            ),
+            _ => Json::Obj(
+                (0..xorshift(state) % 5)
+                    .map(|i| (format!("k{i}"), gen_doc(state, depth - 1)))
+                    .collect(),
+            ),
+        }
+    }
+
+    #[test]
+    fn generated_documents_round_trip() {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for case in 0..500 {
+            let doc = gen_doc(&mut state, 4);
+            let text = unparse(&doc);
+            let back = parse(&text).unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"));
+            assert_eq!(back, doc, "case {case}: {text}");
+        }
     }
 }

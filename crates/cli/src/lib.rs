@@ -12,6 +12,7 @@
 //! numagap bench --compare OLD NEW        # diff two BENCH_*.json summaries
 //! numagap hostile [--jobs N]             # hostile-network robustness scorecard
 //! numagap selfperf [--quick] [--jobs N]  # profile the simulator hot path
+//! numagap serve [--port P] [--workers N] # batched what-if prediction server
 //! numagap info [machine flags]           # print the machine and its gap
 //! numagap help
 //! ```
@@ -76,6 +77,9 @@ pub enum Command {
     /// Run the hostile-network scenario matrix and print the robustness
     /// scorecard (same cells as `bench --target hostile`).
     Hostile(HostileArgs),
+    /// Serve batched what-if predictions over HTTP: a DAG cache plus
+    /// replay/analytic evaluation behind `POST /v1/whatif`.
+    Serve(ServeCmdArgs),
     /// Describe the machine.
     Info(MachineArgs),
     /// Build a real Awari endgame database.
@@ -450,6 +454,20 @@ pub struct HostileArgs {
     pub topology: Option<WanTopology>,
 }
 
+/// Flags of the `serve` command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeCmdArgs {
+    /// TCP port to bind on 127.0.0.1 (0 picks an ephemeral port).
+    pub port: u16,
+    /// Connection/compute worker threads (`REPRO_JOBS` / available
+    /// parallelism when unset).
+    pub workers: Option<usize>,
+    /// DAG cache capacity, entries.
+    pub cache_capacity: usize,
+    /// Per-request wall-clock budget, milliseconds.
+    pub deadline_ms: u64,
+}
+
 /// Flags of the `predict` command.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PredictArgs {
@@ -596,6 +614,10 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
     let mut perturb = false;
     let mut audit_root = None;
     let mut rules = false;
+    let mut port = 7999u16;
+    let mut workers = None;
+    let mut cache_capacity = numagap_serve::DEFAULT_CACHE_CAPACITY;
+    let mut deadline_ms = 30_000u64;
     // `None` until --topology appears: bench/hostile/predict must tell an
     // explicit full mesh apart from the (bit-identical) default.
     let mut wan_topology: Option<WanTopology> = None;
@@ -744,9 +766,12 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             }
             "--target" => {
                 target = take_value(flag, &mut it)?.to_ascii_lowercase();
-                if target != "all" && !TARGETS.contains(&target.as_str()) {
+                // `serve` lives in numagap-serve (which depends on the bench
+                // crate), so it cannot appear in bench's own TARGETS table;
+                // execute_bench dispatches it explicitly.
+                if target != "all" && target != "serve" && !TARGETS.contains(&target.as_str()) {
                     return Err(ParseError(format!(
-                        "unknown bench target '{target}' (expected all, {})",
+                        "unknown bench target '{target}' (expected all, serve, {})",
                         TARGETS.join(", ")
                     )));
                 }
@@ -786,6 +811,26 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                 }
             }
             "--validate" => validate = true,
+            "--port" => port = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--workers" => {
+                let n: usize = parse_num(flag, take_value(flag, &mut it)?)?;
+                if n == 0 {
+                    return Err(ParseError("--workers must be at least 1".into()));
+                }
+                workers = Some(n);
+            }
+            "--cache-capacity" => {
+                cache_capacity = parse_num(flag, take_value(flag, &mut it)?)?;
+                if cache_capacity == 0 {
+                    return Err(ParseError("--cache-capacity must be at least 1".into()));
+                }
+            }
+            "--deadline" => {
+                deadline_ms = parse_num(flag, take_value(flag, &mut it)?)?;
+                if deadline_ms == 0 {
+                    return Err(ParseError("--deadline must be at least 1 ms".into()));
+                }
+            }
             "--perturb" => perturb = true,
             "--root" => audit_root = Some(take_value(flag, &mut it)?.to_string()),
             "--rules" => rules = true,
@@ -878,6 +923,12 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             topology: wan_topology,
         })),
         "selfperf" => Ok(Command::Selfperf(SelfperfArgs { jobs, quick, out })),
+        "serve" => Ok(Command::Serve(ServeCmdArgs {
+            port,
+            workers: workers.or(jobs),
+            cache_capacity,
+            deadline_ms,
+        })),
         "hostile" => Ok(Command::Hostile(HostileArgs {
             jobs,
             scale,
@@ -919,6 +970,7 @@ USAGE:
   numagap bench --compare <OLD.json> <NEW.json> [--threshold <F>] [--virtual-only]
   numagap selfperf [--quick] [--jobs <N>] [--out <dir>]
   numagap hostile [--scale <s>] [--jobs <N>] [--out <dir>]
+  numagap serve [--port <P>] [--workers <N>] [--cache-capacity <N>] [--deadline <ms>]
   numagap predict [--app <name> ...] [--validate] [PREDICT OPTIONS]
   numagap info  [MACHINE OPTIONS]
   numagap help
@@ -994,7 +1046,7 @@ SOAK OPTIONS:
 
 BENCH OPTIONS:
   --target <name>            table1 | fig1 | fig3 | fig4 | hostile | topo
-                             | all                      [default: all]
+                             | serve | all              [default: all]
   --topology <shape>         re-wire the WAN layer of the paper targets;
                              for --target topo, restrict the sweep to one
                              shape (default: all seven canonical shapes)
@@ -1040,6 +1092,26 @@ HOSTILE:
   --jobs <N>                 worker threads [default: REPRO_JOBS, else cores]
   --out <dir>                artifact directory [default: REPRO_OUT, else
                              bench_results/]
+
+SERVE:
+  Binds a std-only HTTP/1.1 server on 127.0.0.1 that answers batched
+  what-if queries against a content-addressed cache of frozen
+  communication DAGs. POST /v1/whatif with a JSON body like
+    {\"app\": \"asp\", \"variant\": \"opt\", \"scale\": \"small\",
+     \"mode\": \"replay\" | \"analytic\", \"points\": [[lat_ms, bw_mbs], ...]}
+  The first query for a key records the DAG (a miss); later queries replay
+  the cached recording (a hit) — response bodies are byte-identical either
+  way and for any --workers value (cache status is only in the
+  X-Numagap-Cache header). `analytic` evaluates a compiled longest-path
+  lower bound instead of a full replay (microseconds per point). Batches
+  forming a complete latency x bandwidth grid also report tolerable-gap
+  thresholds (the paper's 60% bar). GET /v1/health and /v1/stats probe
+  liveness and cache counters; POST /v1/shutdown exits gracefully.
+  --port <P>                 TCP port (0 = ephemeral)    [default: 7999]
+  --workers <N>              worker threads (--jobs is an alias)
+                             [default: REPRO_JOBS, else cores]
+  --cache-capacity <N>       DAG cache entries           [default: 32]
+  --deadline <ms>            per-request wall-clock budget [default: 30000]
 
 PREDICT OPTIONS:
   --app <name>               model only these apps, repeatable [default: all]
@@ -1320,6 +1392,7 @@ pub fn execute(cmd: Command) -> i32 {
         Command::Predict(args) => execute_predict(&args),
         Command::Selfperf(args) => execute_selfperf(&args),
         Command::Hostile(args) => execute_hostile(&args),
+        Command::Serve(args) => execute_serve(&args),
         Command::Run(args) => {
             let cfg = SuiteConfig::at(args.scale);
             let mut machine = args.machine.machine();
@@ -1471,7 +1544,9 @@ pub fn execute_bench(args: &BenchArgs) -> i32 {
             topology: args.topology,
         };
         let names: Vec<&str> = if args.target == "all" {
-            TARGETS.to_vec()
+            let mut all = TARGETS.to_vec();
+            all.push("serve");
+            all
         } else {
             vec![args.target.as_str()]
         };
@@ -1479,13 +1554,49 @@ pub fn execute_bench(args: &BenchArgs) -> i32 {
             if i > 0 {
                 println!();
             }
-            if let Err(e) = run_target(name, &opts) {
+            // The serve target lives in numagap-serve (downstream of the
+            // bench crate), so it is dispatched here instead of run_target.
+            let result = if *name == "serve" {
+                numagap_serve::run_serve_bench(&opts).map(|_| ())
+            } else {
+                run_target(name, &opts).map(|_| ())
+            };
+            if let Err(e) = result {
                 eprintln!("bench {name}: {e}");
                 return EXIT_ERROR;
             }
         }
         0
     }
+}
+
+/// Executes the `serve` command: binds the what-if prediction server and
+/// blocks until a client POSTs `/v1/shutdown` (see [`numagap_serve`]).
+pub fn execute_serve(args: &ServeCmdArgs) -> i32 {
+    let opts = numagap_serve::ServeOpts {
+        port: args.port,
+        workers: args.workers.unwrap_or_else(engine::jobs_from_env),
+        cache_capacity: args.cache_capacity,
+        deadline_ms: args.deadline_ms,
+    };
+    let mut server = match numagap_serve::Server::start(&opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: cannot bind 127.0.0.1:{}: {e}", args.port);
+            return EXIT_ERROR;
+        }
+    };
+    println!(
+        "serve: listening on http://{} (workers {}, cache {} entries, deadline {} ms)",
+        server.addr(),
+        opts.workers,
+        opts.cache_capacity,
+        opts.deadline_ms
+    );
+    println!("serve: endpoints GET /v1/health, GET /v1/stats, POST /v1/whatif, POST /v1/shutdown");
+    server.wait();
+    println!("serve: shut down");
+    0
 }
 
 /// Executes the `selfperf` command: the simulator hot-path micro-benchmarks
@@ -2349,6 +2460,55 @@ mod tests {
         assert!(parse(&["bench", "--threshold", "1.0"]).is_err());
         assert!(parse(&["bench", "--threshold", "nan"]).is_err());
         assert!(parse(&["bench", "--compare", "only-one.json"]).is_err());
+        // serve is a valid bench target even though it lives outside the
+        // bench crate's TARGETS table.
+        match parse(&["bench", "--target", "serve", "--quick"]).unwrap() {
+            Command::Bench(args) => assert_eq!(args.target, "serve"),
+            other => panic!("expected bench, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_serve() {
+        match parse(&["serve"]).unwrap() {
+            Command::Serve(args) => {
+                assert_eq!(args.port, 7999);
+                assert_eq!(args.workers, None, "worker count resolved at run time");
+                assert_eq!(args.cache_capacity, numagap_serve::DEFAULT_CACHE_CAPACITY);
+                assert_eq!(args.deadline_ms, 30_000);
+            }
+            other => panic!("expected serve, got {other:?}"),
+        }
+        match parse(&[
+            "serve",
+            "--port",
+            "0",
+            "--workers",
+            "8",
+            "--cache-capacity",
+            "4",
+            "--deadline",
+            "5000",
+        ])
+        .unwrap()
+        {
+            Command::Serve(args) => {
+                assert_eq!(args.port, 0);
+                assert_eq!(args.workers, Some(8));
+                assert_eq!(args.cache_capacity, 4);
+                assert_eq!(args.deadline_ms, 5000);
+            }
+            other => panic!("expected serve, got {other:?}"),
+        }
+        // --jobs is accepted as an alias for --workers.
+        match parse(&["serve", "--jobs", "3"]).unwrap() {
+            Command::Serve(args) => assert_eq!(args.workers, Some(3)),
+            other => panic!("expected serve, got {other:?}"),
+        }
+        assert!(parse(&["serve", "--workers", "0"]).is_err());
+        assert!(parse(&["serve", "--cache-capacity", "0"]).is_err());
+        assert!(parse(&["serve", "--deadline", "0"]).is_err());
+        assert!(parse(&["serve", "--port", "notaport"]).is_err());
     }
 
     #[test]

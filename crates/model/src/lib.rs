@@ -38,8 +38,8 @@ pub use critical::{critical_path, PathBreakdown};
 pub use dag::{record_app, CommDag, DagRecorder, MsgMeta, Op};
 pub use replay::{predict_elapsed, replay, Replay};
 pub use whatif::{
-    run_predict, AppOutcome, CellOutcome, GapThresholds, PredictOpts, PredictReport,
-    PREDICT_SCHEMA_VERSION, TOLERABLE_SPEEDUP_PCT,
+    gap_thresholds, run_predict, AppOutcome, CellOutcome, GapThresholds, PredictOpts,
+    PredictReport, PREDICT_SCHEMA_VERSION, TOLERABLE_SPEEDUP_PCT,
 };
 
 #[cfg(test)]

@@ -166,8 +166,14 @@ fn scale_name(scale: numagap_apps::Scale) -> &'static str {
 
 /// Reads the tolerable-gap thresholds off one curve.
 ///
-/// `pct` must be indexed `[lat_idx][bw_idx]` over the given grids.
-fn gap_thresholds(lats: &[f64], bws: &[f64], pct: &[Vec<f64>]) -> GapThresholds {
+/// `pct` must be indexed `[lat_idx][bw_idx]` over the given grids. Public
+/// because `numagap serve` applies the same 60 %-bar logic to speedup
+/// grids it derives from replays or analytic bounds.
+///
+/// # Panics
+///
+/// Panics on an empty latency or bandwidth grid.
+pub fn gap_thresholds(lats: &[f64], bws: &[f64], pct: &[Vec<f64>]) -> GapThresholds {
     // Best bandwidth = largest; best latency = smallest. The paper grids are
     // ordered best-first, but don't rely on that.
     let best_bw = (0..bws.len())

@@ -1,0 +1,522 @@
+//! Request handling: JSON what-if queries against the DAG cache, fanned
+//! across the worker pool, with byte-identical responses at any worker
+//! count.
+//!
+//! ## Canonical response ordering
+//!
+//! A batch's points are fanned across the pool with the bench crate's
+//! work-index engine, which writes each result into the slot of its input
+//! index — so the response lists points in request order no matter how many
+//! workers raced, and the serialized body contains only deterministic
+//! fields (virtual nanoseconds, exact speedup percentages; never wall
+//! clock, worker counts, or cache state). Identical requests therefore
+//! produce identical bytes at `--workers 1` and `--workers 8`, and on the
+//! cold and cached paths.
+
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use numagap_apps::{run_app, AppId, Scale, SuiteConfig, Variant};
+use numagap_bench::json::{self, Json};
+use numagap_bench::{baseline_machine, engine, relative_speedup_pct, wan_machine_with};
+use numagap_model::{gap_thresholds, record_app, replay, GapThresholds, TOLERABLE_SPEEDUP_PCT};
+use numagap_net::{das_spec, WanTopology};
+use numagap_sim::SimDuration;
+
+use crate::analytic::AnalyticModel;
+use crate::cache::{CacheEntry, CacheKey, DagCache};
+
+/// Response/request schema version.
+pub const SERVE_SCHEMA_VERSION: u64 = 1;
+
+/// Maximum accepted points per batch. Matches the "thousands of grid
+/// points" design target while bounding per-request memory and replay time.
+pub const MAX_POINTS: usize = 10_000;
+
+/// The recorded machine shape every query runs on (the paper's fig3
+/// machine, like `numagap predict`).
+const CLUSTERS: usize = numagap_bench::CLUSTERS;
+const PROCS: usize = numagap_bench::PROCS_PER_CLUSTER;
+
+/// A client-visible request error (HTTP 400 + JSON body).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadRequest(pub String);
+
+impl std::fmt::Display for BadRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for BadRequest {}
+
+/// Query evaluation mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Full replay through the network cost model per point (exact).
+    Replay,
+    /// Compiled longest-path lower bound per point (microseconds).
+    Analytic,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Replay => "replay",
+            Mode::Analytic => "analytic",
+        }
+    }
+}
+
+/// One parsed what-if request.
+#[derive(Debug, Clone)]
+pub struct WhatIfRequest {
+    /// Cache key of the recording the query runs against.
+    pub key: CacheKey,
+    /// Evaluation mode.
+    pub mode: Mode,
+    /// `(latency ms, bandwidth MByte/s)` points, in request order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// The outcome of one handled query: the response body plus whether the
+/// recording came from the cache.
+#[derive(Debug, Clone)]
+pub struct WhatIfResponse {
+    /// Serialized JSON body (deterministic bytes).
+    pub body: String,
+    /// Whether the DAG cache already held the recording.
+    pub cache_hit: bool,
+}
+
+/// The shared service state behind every connection handler.
+#[derive(Debug)]
+pub struct Service {
+    cache: Mutex<DagCache>,
+    workers: usize,
+}
+
+impl Service {
+    /// A service with the given compute worker count and cache capacity.
+    pub fn new(workers: usize, cache_capacity: usize) -> Self {
+        Service {
+            cache: Mutex::new(DagCache::new(cache_capacity)),
+            workers: workers.max(1),
+        }
+    }
+
+    /// Worker count used to fan batches out.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Current cache counters (for `/v1/stats`).
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.cache.lock().expect("cache lock poisoned").stats()
+    }
+
+    /// Parses and answers one what-if request body.
+    ///
+    /// # Errors
+    ///
+    /// [`BadRequest`] on malformed JSON, unknown enum values, out-of-range
+    /// points, or a batch past [`MAX_POINTS`]. Simulator failures while
+    /// recording also surface as [`BadRequest`] (the query named an
+    /// unrunnable configuration).
+    pub fn whatif(&self, body: &str) -> Result<WhatIfResponse, BadRequest> {
+        let req = parse_request(body)?;
+        let (entry, cache_hit) = self.recording_for(&req.key)?;
+        let body = answer(&req, &entry, self.workers);
+        Ok(WhatIfResponse { body, cache_hit })
+    }
+
+    /// Fetches the recording for `key`, recording and inserting on miss.
+    ///
+    /// The cache lock is never held across the recording run: concurrent
+    /// misses on the same key may record twice, but recordings are
+    /// deterministic, so whichever insert lands first wins and both serve
+    /// identical content.
+    fn recording_for(
+        &self,
+        key: &CacheKey,
+    ) -> Result<(std::sync::Arc<CacheEntry>, bool), BadRequest> {
+        if let Some(entry) = self.cache.lock().expect("cache lock poisoned").lookup(key) {
+            return Ok((entry, true));
+        }
+        let entry = record_entry(key)?;
+        let stored = self
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .insert(key, entry);
+        Ok((stored, false))
+    }
+}
+
+/// Records the DAG and baseline for one cache key.
+fn record_entry(key: &CacheKey) -> Result<CacheEntry, BadRequest> {
+    let cfg = SuiteConfig::at(key.scale);
+    let machine = wan_machine_with(key.ref_latency_ms, key.ref_bandwidth_mbs, key.topology);
+    let (run, dag) = record_app(key.app, &cfg, key.variant, &machine)
+        .map_err(|e| BadRequest(format!("recording {}: {e}", key.canonical())))?;
+    let baseline = run_app(key.app, &cfg, Variant::Unoptimized, &baseline_machine())
+        .map_err(|e| BadRequest(format!("baseline {}: {e}", key.canonical())))?
+        .elapsed;
+    let analytic = AnalyticModel::compile(&dag);
+    Ok(CacheEntry {
+        dag,
+        analytic,
+        recorded: run.elapsed,
+        baseline,
+    })
+}
+
+/// Evaluates the batch and serializes the response body.
+fn answer(req: &WhatIfRequest, entry: &CacheEntry, workers: usize) -> String {
+    let makespans: Vec<SimDuration> = match req.mode {
+        Mode::Replay => engine::run_cells(&req.points, workers, None, |_, &(lat, bw)| {
+            let mut spec = das_spec(CLUSTERS, PROCS, lat, bw);
+            if let Some(t) = req.key.topology {
+                spec = spec.wan_topology(t);
+            }
+            replay(&entry.dag, &spec).elapsed
+        }),
+        // Analytic evaluation is microseconds per point; the engine fan-out
+        // would cost more in thread handoff than it saves, and the slot
+        // discipline makes the order identical either way.
+        Mode::Analytic => req
+            .points
+            .iter()
+            .map(|&(lat, bw)| entry.analytic.bound(lat, bw))
+            .collect(),
+    };
+    let pct: Vec<f64> = makespans
+        .iter()
+        .map(|&m| relative_speedup_pct(entry.baseline, m))
+        .collect();
+    let thresholds = grid_thresholds(&req.points, &pct);
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"schema\": {},\n  \"key\": \"{}\",\n  \"digest\": \"{:016x}\",\n  \
+         \"mode\": \"{}\",\n  \"tolerable_pct\": {},\n  \"recorded_ns\": {},\n  \
+         \"baseline_ns\": {},\n  \"points\": [",
+        SERVE_SCHEMA_VERSION,
+        json::escape(&req.key.canonical()),
+        req.key.digest(),
+        req.mode.name(),
+        TOLERABLE_SPEEDUP_PCT,
+        entry.recorded.as_nanos(),
+        entry.baseline.as_nanos(),
+    );
+    for (i, (&(lat, bw), (&m, &p))) in req
+        .points
+        .iter()
+        .zip(makespans.iter().zip(pct.iter()))
+        .enumerate()
+    {
+        let sep = if i + 1 < req.points.len() { "," } else { "" };
+        let _ = write!(
+            out,
+            "\n    {{\"latency_ms\": {lat}, \"bandwidth_mbs\": {bw}, \
+             \"makespan_ns\": {}, \"speedup_pct\": {p}}}{sep}",
+            m.as_nanos(),
+        );
+    }
+    out.push_str("\n  ],\n  \"thresholds\": ");
+    match thresholds {
+        Some(t) => {
+            let fmt_opt = |v: Option<f64>| match v {
+                Some(v) => format!("{v}"),
+                None => "null".to_string(),
+            };
+            let _ = write!(
+                out,
+                "{{\"latency_ms\": {}, \"bandwidth_mbs\": {}}}",
+                fmt_opt(t.latency_ms),
+                fmt_opt(t.bandwidth_mbs)
+            );
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Computes tolerable-gap thresholds when the submitted points form a
+/// complete latency × bandwidth grid; `None` for free-form batches.
+fn grid_thresholds(points: &[(f64, f64)], pct: &[f64]) -> Option<GapThresholds> {
+    let mut lats: Vec<f64> = Vec::new();
+    let mut bws: Vec<f64> = Vec::new();
+    for &(lat, bw) in points {
+        if !lats.iter().any(|&v| v.to_bits() == lat.to_bits()) {
+            lats.push(lat);
+        }
+        if !bws.iter().any(|&v| v.to_bits() == bw.to_bits()) {
+            bws.push(bw);
+        }
+    }
+    if lats.is_empty() || points.len() != lats.len() * bws.len() {
+        return None;
+    }
+    let mut grid = vec![vec![f64::NAN; bws.len()]; lats.len()];
+    for (&(lat, bw), &p) in points.iter().zip(pct) {
+        let i = lats.iter().position(|&v| v.to_bits() == lat.to_bits())?;
+        let j = bws.iter().position(|&v| v.to_bits() == bw.to_bits())?;
+        if !grid[i][j].is_nan() {
+            return None; // duplicate point: not a grid
+        }
+        grid[i][j] = p;
+    }
+    if grid.iter().flatten().any(|v| v.is_nan()) {
+        return None;
+    }
+    Some(gap_thresholds(&lats, &bws, &grid))
+}
+
+/// Parses the request body into a [`WhatIfRequest`].
+fn parse_request(body: &str) -> Result<WhatIfRequest, BadRequest> {
+    let doc = json::parse(body).map_err(|e| BadRequest(format!("request body: {e}")))?;
+    if !matches!(doc, Json::Obj(_)) {
+        return Err(BadRequest("request body must be a JSON object".into()));
+    }
+    let app = match required_str(&doc, "app")? {
+        "water" => AppId::Water,
+        "barnes" => AppId::Barnes,
+        "tsp" => AppId::Tsp,
+        "asp" => AppId::Asp,
+        "awari" => AppId::Awari,
+        "fft" => AppId::Fft,
+        other => {
+            return Err(BadRequest(format!(
+                "unknown app '{other}' (expected water, barnes, tsp, asp, awari, fft)"
+            )))
+        }
+    };
+    let variant = match optional_str(&doc, "variant")?.unwrap_or("opt") {
+        "opt" | "optimized" => Variant::Optimized,
+        "unopt" | "unoptimized" => Variant::Unoptimized,
+        other => return Err(BadRequest(format!("unknown variant '{other}'"))),
+    };
+    let scale = match optional_str(&doc, "scale")?.unwrap_or("small") {
+        "small" => Scale::Small,
+        "medium" => Scale::Medium,
+        "paper" => Scale::Paper,
+        other => return Err(BadRequest(format!("unknown scale '{other}'"))),
+    };
+    let topology = match optional_str(&doc, "topology")? {
+        None => None,
+        Some(text) => {
+            let t = WanTopology::parse(text).map_err(|e| BadRequest(format!("topology: {e}")))?;
+            t.validate(CLUSTERS)
+                .map_err(|e| BadRequest(format!("topology: {e}")))?;
+            // A full mesh is the default wiring; normalizing it to `None`
+            // keeps the cache key and response identical to an omitted
+            // field, like the CLI's --topology handling.
+            (t != WanTopology::FullMesh).then_some(t)
+        }
+    };
+    let mode = match optional_str(&doc, "mode")?.unwrap_or("replay") {
+        "replay" => Mode::Replay,
+        "analytic" => Mode::Analytic,
+        other => {
+            return Err(BadRequest(format!(
+                "unknown mode '{other}' (expected replay, analytic)"
+            )))
+        }
+    };
+    let seed = match doc.get("seed") {
+        None => 0,
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| BadRequest("seed must be a non-negative integer".into()))?,
+    };
+    let (ref_latency_ms, ref_bandwidth_mbs) = match doc.get("ref") {
+        None => (10.0, 0.3),
+        Some(v) => parse_point(v).map_err(|e| BadRequest(format!("ref: {e}")))?,
+    };
+    check_point(ref_latency_ms, ref_bandwidth_mbs).map_err(|e| BadRequest(format!("ref: {e}")))?;
+    let points_doc = doc
+        .get("points")
+        .and_then(Json::as_array)
+        .ok_or_else(|| BadRequest("missing 'points' array".into()))?;
+    if points_doc.is_empty() {
+        return Err(BadRequest("'points' must not be empty".into()));
+    }
+    if points_doc.len() > MAX_POINTS {
+        return Err(BadRequest(format!(
+            "batch of {} points exceeds the {MAX_POINTS}-point cap",
+            points_doc.len()
+        )));
+    }
+    let mut points = Vec::with_capacity(points_doc.len());
+    for (i, v) in points_doc.iter().enumerate() {
+        let (lat, bw) = parse_point(v).map_err(|e| BadRequest(format!("points[{i}]: {e}")))?;
+        check_point(lat, bw).map_err(|e| BadRequest(format!("points[{i}]: {e}")))?;
+        points.push((lat, bw));
+    }
+    Ok(WhatIfRequest {
+        key: CacheKey {
+            app,
+            variant,
+            scale,
+            topology,
+            seed,
+            ref_latency_ms,
+            ref_bandwidth_mbs,
+        },
+        mode,
+        points,
+    })
+}
+
+fn parse_point(v: &Json) -> Result<(f64, f64), String> {
+    let pair = v
+        .as_array()
+        .ok_or("expected a [latency_ms, bandwidth_mbs] pair")?;
+    if pair.len() != 2 {
+        return Err(format!("expected 2 elements, got {}", pair.len()));
+    }
+    let lat = pair[0].as_f64().ok_or("latency must be a number")?;
+    let bw = pair[1].as_f64().ok_or("bandwidth must be a number")?;
+    Ok((lat, bw))
+}
+
+fn check_point(lat: f64, bw: f64) -> Result<(), String> {
+    if !lat.is_finite() || !(0.0..=100_000.0).contains(&lat) {
+        return Err(format!("latency {lat} ms out of range [0, 100000]"));
+    }
+    if !bw.is_finite() || bw <= 0.0 || bw > 100_000.0 {
+        return Err(format!("bandwidth {bw} MB/s out of range (0, 100000]"));
+    }
+    Ok(())
+}
+
+fn required_str<'a>(doc: &'a Json, field: &str) -> Result<&'a str, BadRequest> {
+    doc.get(field)
+        .and_then(Json::as_str)
+        .ok_or_else(|| BadRequest(format!("missing string field '{field}'")))
+}
+
+fn optional_str<'a>(doc: &'a Json, field: &str) -> Result<Option<&'a str>, BadRequest> {
+    match doc.get(field) {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| BadRequest(format!("field '{field}' must be a string"))),
+    }
+}
+
+/// The `/v1/stats` body. Deliberately *not* byte-stable across requests —
+/// it reports live counters; determinism guarantees apply to query bodies.
+pub fn stats_body(service: &Service) -> String {
+    let s = service.cache_stats();
+    format!(
+        "{{\n  \"schema\": {SERVE_SCHEMA_VERSION},\n  \"workers\": {},\n  \"cache\": \
+         {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}, \
+         \"capacity\": {}}}\n}}\n",
+        service.workers(),
+        s.hits,
+        s.misses,
+        s.evictions,
+        s.entries,
+        s.capacity
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_batch(mode: &str) -> String {
+        format!(
+            "{{\"app\": \"asp\", \"variant\": \"opt\", \"scale\": \"small\", \
+             \"mode\": \"{mode}\", \"points\": [[10.0, 0.3], [0.5, 6.3]]}}"
+        )
+    }
+
+    #[test]
+    fn replay_and_analytic_answer_and_cache() {
+        let service = Service::new(2, 4);
+        let a = service.whatif(&small_batch("replay")).unwrap();
+        assert!(!a.cache_hit);
+        let b = service.whatif(&small_batch("replay")).unwrap();
+        assert!(b.cache_hit);
+        assert_eq!(a.body, b.body, "cold and cached bodies must be identical");
+        let c = service.whatif(&small_batch("analytic")).unwrap();
+        assert!(c.cache_hit, "mode does not change the cache key");
+        assert_ne!(a.body, c.body);
+        let stats = service.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+        // Bodies parse back as JSON and carry both points in request order.
+        let doc = json::parse(&a.body).unwrap();
+        let points = doc.get("points").unwrap().as_array().unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].get("latency_ms").unwrap().as_f64(), Some(10.0));
+        assert_eq!(points[1].get("latency_ms").unwrap().as_f64(), Some(0.5));
+    }
+
+    #[test]
+    fn grid_batches_report_thresholds_freeform_do_not() {
+        let service = Service::new(2, 4);
+        let grid = "{\"app\": \"asp\", \"mode\": \"replay\", \"points\": \
+                    [[0.5, 6.3], [0.5, 0.3], [10.0, 6.3], [10.0, 0.3]]}";
+        let doc = json::parse(&service.whatif(grid).unwrap().body).unwrap();
+        assert!(
+            doc.get("thresholds").unwrap().get("latency_ms").is_some(),
+            "2x2 grid must produce a thresholds object"
+        );
+        let freeform = "{\"app\": \"asp\", \"mode\": \"replay\", \"points\": \
+                        [[0.5, 6.3], [10.0, 0.3]]}";
+        let doc = json::parse(&service.whatif(freeform).unwrap().body).unwrap();
+        assert_eq!(doc.get("thresholds"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn bad_requests_are_typed_errors() {
+        let service = Service::new(1, 2);
+        for (body, want) in [
+            ("", "request body"),
+            ("[]", "must be a JSON object"),
+            ("{}", "missing string field 'app'"),
+            ("{\"app\": \"nope\", \"points\": [[1,1]]}", "unknown app"),
+            ("{\"app\": \"asp\"}", "missing 'points'"),
+            ("{\"app\": \"asp\", \"points\": []}", "must not be empty"),
+            (
+                "{\"app\": \"asp\", \"points\": [[1]]}",
+                "expected 2 elements",
+            ),
+            ("{\"app\": \"asp\", \"points\": [[-1, 1]]}", "out of range"),
+            ("{\"app\": \"asp\", \"points\": [[1, 0]]}", "out of range"),
+            (
+                "{\"app\": \"asp\", \"mode\": \"magic\", \"points\": [[1, 1]]}",
+                "unknown mode",
+            ),
+            (
+                "{\"app\": \"asp\", \"topology\": \"torus:9x9\", \"points\": [[1, 1]]}",
+                "topology",
+            ),
+        ] {
+            let err = service.whatif(body).unwrap_err();
+            assert!(err.0.contains(want), "{body:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn oversized_batches_are_rejected_before_any_work() {
+        let service = Service::new(1, 2);
+        let mut body = String::from("{\"app\": \"asp\", \"points\": [");
+        for i in 0..=MAX_POINTS {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str("[1,1]");
+        }
+        body.push_str("]}");
+        let err = service.whatif(&body).unwrap_err();
+        assert!(err.0.contains("cap"), "{err}");
+        assert_eq!(service.cache_stats().misses, 0, "rejected before recording");
+    }
+}
