@@ -118,6 +118,17 @@ pub const RULES: &[Rule] = &[
                     message, or propagate the error.",
         sim_state_only: false,
     },
+    Rule {
+        id: "ND008",
+        summary: "raw thread primitive bypassing the rank scheduler",
+        rationale: "direct thread::spawn/thread::Builder/JoinHandle use in simulation-state \
+                    code creates OS threads the N:M scheduler cannot see: they break the \
+                    at-most-one-runnable-rank invariant, defeat the --sim-workers thread \
+                    budget, and make peak thread counts scale with rank count again. Ranks \
+                    must go through Sim::spawn; the kernel and the worker pool are the only \
+                    sanctioned owners of raw threads (waived).",
+        sim_state_only: true,
+    },
 ];
 
 /// Looks a rule up by ID.
@@ -196,6 +207,13 @@ pub const WAIVERS: &[Waiver] = &[
     },
     Waiver {
         rule: "ND002",
+        path_suffix: "bench/src/scale.rs",
+        token: "Instant::now",
+        reason: "wall-clock stopwatch around scale sweep cells, recorded as wall_s \
+                 only; the cross-mode bit-identity gate reads virtual fields",
+    },
+    Waiver {
+        rule: "ND002",
         path_suffix: "serve/src/http.rs",
         token: "Instant::now",
         reason: "per-request deadline clock: bounds socket read/write timeouts and \
@@ -228,6 +246,35 @@ pub const WAIVERS: &[Waiver] = &[
         path_suffix: "apps/src/kernels.rs",
         token: "sum::<f64>",
         reason: "vector norm over an index-ordered slice",
+    },
+    // ── ND008: the two sanctioned owners of raw threads ──
+    Waiver {
+        rule: "ND008",
+        path_suffix: "sim/src/kernel.rs",
+        token: "JoinHandle",
+        reason: "the kernel itself holds the legacy 1:1 mode's per-rank join handles; \
+                 it is the scheduler, not a bypass of it",
+    },
+    Waiver {
+        rule: "ND008",
+        path_suffix: "sim/src/kernel.rs",
+        token: "thread::Builder",
+        reason: "legacy 1:1 mode spawns one named, stack-sized thread per rank here — \
+                 the differential oracle the N:M scheduler is checked against",
+    },
+    Waiver {
+        rule: "ND008",
+        path_suffix: "sim/src/sched.rs",
+        token: "JoinHandle",
+        reason: "the worker pool owns its workers' join handles; this is the N:M \
+                 scheduler the rule funnels everyone else toward",
+    },
+    Waiver {
+        rule: "ND008",
+        path_suffix: "sim/src/sched.rs",
+        token: "thread::Builder",
+        reason: "the worker pool spawns its --sim-workers named threads here; the one \
+                 place pool threads may be created",
     },
 ];
 
@@ -506,6 +553,13 @@ pub fn scan_source(path: &str, crate_name: &str, text: &str) -> Vec<Finding> {
         }
         if line.contains(".unwrap()") {
             hit("ND007");
+        }
+        if sim_state
+            && (line.contains("thread::spawn")
+                || line.contains("thread::Builder")
+                || line.contains("JoinHandle"))
+        {
+            hit("ND008");
         }
     }
     findings

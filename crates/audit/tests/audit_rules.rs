@@ -13,7 +13,7 @@ fn diagnostic_ids_are_stable_and_well_formed() {
     let ids: Vec<&str> = RULES.iter().map(|r| r.id).collect();
     assert_eq!(
         ids,
-        ["ND001", "ND002", "ND003", "ND004", "ND005", "ND006", "ND007"],
+        ["ND001", "ND002", "ND003", "ND004", "ND005", "ND006", "ND007", "ND008"],
         "rule IDs are append-only; never renumber or reorder"
     );
     for r in RULES {
@@ -61,6 +61,7 @@ fn nap() { std::thread::sleep(d); }
 fn red(v: &[f64]) -> f64 { v.iter().sum::<f64>() }
 fn cast(t: SimTime) -> u32 { t.as_nanos() as u32 }
 fn boom(o: Option<u8>) -> u8 { o.unwrap() }
+fn rogue() { let _h = std::thread::spawn(work); }
 ";
     let findings = scan_source("crates/sim/src/planted.rs", "sim", fixture);
     let got: Vec<(&str, usize)> = findings.iter().map(|f| (f.rule, f.line)).collect();
@@ -74,9 +75,31 @@ fn boom(o: Option<u8>) -> u8 { o.unwrap() }
             ("ND005", 5),
             ("ND006", 6),
             ("ND007", 7),
+            ("ND008", 8),
         ],
         "{findings:#?}"
     );
+}
+
+/// ND008 is scoped: only the kernel and the worker pool may own raw
+/// threads in sim-state crates, and each primitive carries its own waiver
+/// token so a *new* primitive at a waived path still fires.
+#[test]
+fn nd008_catches_every_thread_primitive_and_stays_scoped() {
+    let fixture = "\
+fn a() { std::thread::spawn(f); }
+fn b() { std::thread::Builder::new(); }
+struct S { h: std::thread::JoinHandle<()> }
+";
+    let hits = scan_source("crates/apps/src/x.rs", "apps", fixture);
+    assert_eq!(
+        hits.iter().map(|f| f.rule).collect::<Vec<_>>(),
+        ["ND008", "ND008", "ND008"],
+        "{hits:#?}"
+    );
+    // Outside sim-state crates the rule stays quiet (the bench engine's
+    // worker threads never touch virtual time).
+    assert!(scan_source("crates/bench/src/x.rs", "bench", fixture).is_empty());
 }
 
 /// The same hazards hidden in comments, strings, and test blocks must NOT

@@ -57,6 +57,11 @@ pub struct RunRecord {
     /// and compared exactly; `park_wakes` varies with host timing like
     /// `wall_s`.
     pub profile: Option<HotProfile>,
+    /// Peak simulator thread count the cell ran with (deterministic for a
+    /// fixed scheduler mode: the pool's worker count, or the rank count in
+    /// legacy 1:1 mode). Recorded only by the `scale` target; `None` keeps
+    /// the other targets' artifacts byte-identical to their baselines.
+    pub sim_threads: Option<usize>,
 }
 
 impl RunRecord {
@@ -74,6 +79,7 @@ impl RunRecord {
             inter_bytes: run.net.inter_payload_bytes,
             seed: run.seed,
             profile: None,
+            sim_threads: None,
         }
     }
 }
@@ -163,13 +169,18 @@ impl BenchSummary {
                     p.bytes_cloned,
                 ),
             };
+            // Also additive, for the same baseline-stability reason.
+            let sim_threads = match r.sim_threads {
+                None => String::new(),
+                Some(n) => format!(", \"sim_threads\": {n}"),
+            };
             let _ = write!(
                 out,
                 "\n    {{\"key\": \"{}\", \"wall_s\": {}, \"virtual_s\": {}, \
                  \"checksum\": {}, \"events\": {}, \"messages\": {}, \"bytes\": {}, \
                  \"intra_msgs\": {}, \"intra_bytes\": {}, \"inter_msgs\": {}, \
                  \"inter_bytes\": {}, \"faults_dropped\": {}, \"faults_duplicated\": {}, \
-                 \"faults_delayed\": {}, \"seed\": {}{}}}{}",
+                 \"faults_delayed\": {}, \"seed\": {}{}{}}}{}",
                 json::escape(&r.key),
                 r.wall_s,
                 r.virtual_s,
@@ -186,6 +197,7 @@ impl BenchSummary {
                 r.kernel.faults_delayed,
                 seed,
                 profile,
+                sim_threads,
                 sep,
             );
         }
@@ -310,6 +322,10 @@ fn record_from_json(r: &Json) -> Result<RunRecord, String> {
                 bytes_cloned: field_u64(r, "bytes_cloned")?,
             }),
         },
+        sim_threads: match r.get("sim_threads") {
+            None => None,
+            Some(v) => Some(v.as_u64().ok_or("non-integer 'sim_threads'")? as usize),
+        },
     })
 }
 
@@ -433,6 +449,16 @@ pub fn compare(old: &BenchSummary, new: &BenchSummary, opts: &CompareOpts) -> Co
                 ));
             }
         }
+        // Thread-count ceiling: deterministic for a fixed scheduler mode.
+        // A baseline without the field ignores the candidate's.
+        if let (Some(to), Some(tn)) = (o.sim_threads, n.sim_threads) {
+            if to != tn {
+                rep.findings.push(format!(
+                    "cell '{}': simulator thread count drifted {to} -> {tn}",
+                    o.key
+                ));
+            }
+        }
         // Wall clock: only cells big enough to time meaningfully.
         if opts.wall_clock && o.wall_s >= 0.010 && n.wall_s > o.wall_s * opts.threshold {
             rep.findings.push(format!(
@@ -494,6 +520,7 @@ mod tests {
             inter_bytes: 1096,
             seed: None,
             profile: None,
+            sim_threads: None,
         }
     }
 
@@ -567,6 +594,30 @@ mod tests {
         let mut unprofiled = old.clone();
         unprofiled.records[0].profile = None;
         let rep = compare(&unprofiled, &new, &CompareOpts::default());
+        assert!(rep.is_clean(), "{:?}", rep.findings);
+    }
+
+    #[test]
+    fn sim_threads_round_trips_and_drift_is_a_finding() {
+        let mut s = summary(vec![record("c4x8/pool-w2", 0.1, 2.0)]);
+        s.records[0].sim_threads = Some(2);
+        let text = s.to_json();
+        assert!(text.contains("\"sim_threads\": 2"), "{text}");
+        let parsed = BenchSummary::from_json(&text).unwrap();
+        assert_eq!(parsed, s);
+        // Absent in the record -> absent from the JSON (baseline stability).
+        let plain = summary(vec![record("q", 0.1, 2.0)]).to_json();
+        assert!(!plain.contains("sim_threads"), "{plain}");
+        // A candidate whose ceiling moved against a recorded baseline fails.
+        let mut new = s.clone();
+        new.records[0].sim_threads = Some(32);
+        let rep = compare(&s, &new, &CompareOpts::default());
+        assert_eq!(rep.findings.len(), 1, "{:?}", rep.findings);
+        assert!(rep.findings[0].contains("thread count drifted"));
+        // A baseline recorded before the field existed ignores it.
+        let mut old = s.clone();
+        old.records[0].sim_threads = None;
+        let rep = compare(&old, &new, &CompareOpts::default());
         assert!(rep.is_clean(), "{:?}", rep.findings);
     }
 

@@ -313,6 +313,7 @@ pub fn run_selfperf(opts: &SweepOpts) -> Result<BenchSummary, BenchError> {
             inter_bytes: out.net.inter_payload_bytes,
             seed: None,
             profile: Some(p),
+            sim_threads: None,
         });
     }
 

@@ -26,7 +26,7 @@ use crate::{
 };
 
 /// Every engine-backed target, in the order `--target all` runs them.
-pub const TARGETS: [&str; 6] = ["table1", "fig1", "fig3", "fig4", "hostile", "topo"];
+pub const TARGETS: [&str; 7] = ["table1", "fig1", "fig3", "fig4", "hostile", "topo", "scale"];
 
 /// Options for one engine-backed sweep.
 #[derive(Debug, Clone)]
@@ -108,6 +108,7 @@ pub fn run_target(name: &str, opts: &SweepOpts) -> Result<BenchSummary, BenchErr
         "fig4" => run_fig4(opts),
         "hostile" => crate::hostile::run_hostile(opts),
         "topo" => crate::topo::run_topo(opts),
+        "scale" => crate::scale::run_scale(opts),
         other => Err(BenchError::Sim(format!(
             "unknown bench target '{other}' (expected one of {})",
             TARGETS.join(", ")

@@ -43,7 +43,7 @@ use numagap_net::{
     TwoLayerSpec, WanTopology,
 };
 use numagap_rt::{Machine, TransportConfig};
-use numagap_sim::{SimDuration, SimTime, TieBreak};
+use numagap_sim::{SchedMode, SimDuration, SimTime, TieBreak};
 
 /// Exit code: the command ran to completion but found failures — sanitizer
 /// diagnostics, checksum mismatches, or failing soak cells.
@@ -178,6 +178,10 @@ pub struct MachineArgs {
     /// Wide-area wiring between cluster gateways (`--topology`); the
     /// default full mesh reproduces the paper's machine bit-for-bit.
     pub wan_topology: WanTopology,
+    /// Rank scheduler selection (`--sim-workers`): `N` multiplexes all
+    /// ranks onto an `N`-thread worker pool, `legacy` keeps one OS thread
+    /// per rank. `None` uses the simulator's default (a 1-worker pool).
+    pub sched_mode: Option<SchedMode>,
 }
 
 impl Default for MachineArgs {
@@ -201,6 +205,7 @@ impl Default for MachineArgs {
             reorder: 0.0,
             outages: Vec::new(),
             wan_topology: WanTopology::FullMesh,
+            sched_mode: None,
         }
     }
 }
@@ -306,7 +311,10 @@ impl MachineArgs {
     pub fn machine(&self) -> Machine {
         let spec = self.spec();
         let faulty = spec.fault_plan.as_ref().is_some_and(|p| p.any_faults());
-        let machine = Machine::new(spec.clone());
+        let mut machine = Machine::new(spec.clone());
+        if let Some(mode) = self.sched_mode {
+            machine = machine.with_sched_mode(mode);
+        }
         if faulty {
             machine
                 .with_reliable_transport(TransportConfig::for_spec(&spec))
@@ -422,6 +430,8 @@ pub struct BenchArgs {
     /// `None` (the default) keeps every target bit-identical to the
     /// committed baselines.
     pub topology: Option<WanTopology>,
+    /// Rank scheduler selection (`--sim-workers`) applied to every cell.
+    pub sim_workers: Option<SchedMode>,
 }
 
 /// Flags of the `selfperf` command.
@@ -434,6 +444,8 @@ pub struct SelfperfArgs {
     pub quick: bool,
     /// Output directory (`REPRO_OUT` / `bench_results` when unset).
     pub out: Option<String>,
+    /// Rank scheduler selection (`--sim-workers`) applied to every cell.
+    pub sim_workers: Option<SchedMode>,
 }
 
 /// Flags of the `hostile` command.
@@ -452,6 +464,8 @@ pub struct HostileArgs {
     /// Wide-area wiring override (`--topology`) applied to every scenario
     /// machine; `None` keeps the full mesh the baseline was recorded on.
     pub topology: Option<WanTopology>,
+    /// Rank scheduler selection (`--sim-workers`) applied to every cell.
+    pub sim_workers: Option<SchedMode>,
 }
 
 /// Flags of the `serve` command.
@@ -466,6 +480,8 @@ pub struct ServeCmdArgs {
     pub cache_capacity: usize,
     /// Per-request wall-clock budget, milliseconds.
     pub deadline_ms: u64,
+    /// Rank scheduler selection (`--sim-workers`) for replayed recordings.
+    pub sim_workers: Option<SchedMode>,
 }
 
 /// Flags of the `predict` command.
@@ -495,6 +511,8 @@ pub struct PredictArgs {
     /// Wide-area wiring override (`--topology`) for both the recording
     /// machine and every replayed grid point; `None` keeps the full mesh.
     pub topology: Option<WanTopology>,
+    /// Rank scheduler selection (`--sim-workers`) applied to every cell.
+    pub sim_workers: Option<SchedMode>,
 }
 
 /// A parse failure with a user-facing message.
@@ -557,6 +575,21 @@ fn parse_prob(flag: &str, v: &str) -> Result<f64, ParseError> {
         return Err(ParseError(format!("{flag} must be in [0, 1], got {p}")));
     }
     Ok(p)
+}
+
+/// Parses `--sim-workers`: a worker-pool size, or `legacy` for the
+/// one-OS-thread-per-rank oracle mode.
+fn parse_sim_workers(v: &str) -> Result<SchedMode, ParseError> {
+    if v.eq_ignore_ascii_case("legacy") {
+        return Ok(SchedMode::LegacyThreads);
+    }
+    let n: usize = parse_num("--sim-workers", v)?;
+    if n == 0 {
+        return Err(ParseError(
+            "--sim-workers must be at least 1, or 'legacy'".into(),
+        ));
+    }
+    Ok(SchedMode::WorkerPool { workers: n })
 }
 
 /// Parses `cluster:from_ms:until_ms` for `--outage`.
@@ -664,6 +697,9 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                     .map_err(|e| ParseError(format!("--topology: {e}")))?;
                 machine.wan_topology = t;
                 wan_topology = Some(t);
+            }
+            "--sim-workers" => {
+                machine.sched_mode = Some(parse_sim_workers(take_value(flag, &mut it)?)?)
             }
             "--verify" => verify = true,
             "--stones" => stones = parse_num(flag, take_value(flag, &mut it)?)?,
@@ -921,13 +957,20 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             threshold,
             virtual_only,
             topology: wan_topology,
+            sim_workers: machine.sched_mode,
         })),
-        "selfperf" => Ok(Command::Selfperf(SelfperfArgs { jobs, quick, out })),
+        "selfperf" => Ok(Command::Selfperf(SelfperfArgs {
+            jobs,
+            quick,
+            out,
+            sim_workers: machine.sched_mode,
+        })),
         "serve" => Ok(Command::Serve(ServeCmdArgs {
             port,
             workers: workers.or(jobs),
             cache_capacity,
             deadline_ms,
+            sim_workers: machine.sched_mode,
         })),
         "hostile" => Ok(Command::Hostile(HostileArgs {
             jobs,
@@ -935,6 +978,7 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             quick,
             out,
             topology: wan_topology,
+            sim_workers: machine.sched_mode,
         })),
         "predict" => Ok(Command::Predict(PredictArgs {
             apps,
@@ -948,6 +992,7 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             validate,
             max_error,
             topology: wan_topology,
+            sim_workers: machine.sched_mode,
         })),
         "info" => Ok(Command::Info(machine)),
         "awari-db" => Ok(Command::AwariDb { stones, machine }),
@@ -1000,6 +1045,11 @@ MACHINE OPTIONS:
                              must fit the cluster count (exit 2 if not);
                              bench/hostile/predict validate against their
                              fixed 4-cluster machine.
+  --sim-workers <N|legacy>   rank scheduler (any command): multiplex all
+                             ranks onto an N-thread worker pool, or
+                             'legacy' for one OS thread per rank (the
+                             differential oracle). Virtual time is
+                             bit-identical across every choice [default: 1]
 
 HOSTILE-NETWORK OPTIONS (any command; soak sweeps comma lists of the
 first three as matrix dimensions):
@@ -1046,7 +1096,7 @@ SOAK OPTIONS:
 
 BENCH OPTIONS:
   --target <name>            table1 | fig1 | fig3 | fig4 | hostile | topo
-                             | serve | all              [default: all]
+                             | scale | serve | all      [default: all]
   --topology <shape>         re-wire the WAN layer of the paper targets;
                              for --target topo, restrict the sweep to one
                              shape (default: all seven canonical shapes)
@@ -1058,6 +1108,10 @@ BENCH OPTIONS:
   Each target fans its independent simulation cells across the worker
   pool and writes <target>.csv plus a versioned BENCH_<target>.json
   summary. Artifacts are byte-identical for any --jobs value.
+  The scale target sweeps cluster counts 4..64 (32..4096 ranks) through
+  a synthetic SPMD workload under both the N:M worker pool and the
+  legacy 1:1 scheduler, asserts their virtual times match, and records
+  each cell's simulator thread count (scale.csv / BENCH_scale.json).
   --compare <OLD> <NEW>      diff two BENCH_*.json files instead of running;
                              determinism drift and wall-clock regressions
                              beyond --threshold [default: 1.5] are findings
@@ -1148,7 +1202,8 @@ AUDIT:
   Token-level determinism static analysis over the workspace's library
   sources (crates/*/src): hash-ordered containers in simulation state,
   wall-clock reads, unseeded RNGs, thread::sleep, order-sensitive float
-  reductions, narrowing time casts, bare unwraps (rules ND001..ND007;
+  reductions, narrowing time casts, bare unwraps, raw thread primitives
+  bypassing the rank scheduler (rules ND001..ND008;
   --rules prints the catalog with rationale). Comments, strings, and
   #[cfg(test)] blocks never fire. Accepted sites carry an entry in the
   built-in waiver table; unwaived findings and stale waivers exit 1.
@@ -1161,8 +1216,33 @@ EXIT CODES:
   2  usage or internal error
 ";
 
+impl Command {
+    /// The `--sim-workers` scheduler selection this command carries, if
+    /// any; `execute` installs it as the process-wide default so every
+    /// machine the command builds (including those assembled deep inside
+    /// bench targets and the serve cache) runs under it.
+    pub fn sched_mode(&self) -> Option<SchedMode> {
+        match self {
+            Command::Run(a) => a.machine.sched_mode,
+            Command::Suite(m) | Command::Info(m) => m.sched_mode,
+            Command::Check(a) => a.machine.sched_mode,
+            Command::Soak(a) => a.machine.sched_mode,
+            Command::Bench(a) => a.sim_workers,
+            Command::Predict(a) => a.sim_workers,
+            Command::Selfperf(a) => a.sim_workers,
+            Command::Hostile(a) => a.sim_workers,
+            Command::Serve(a) => a.sim_workers,
+            Command::AwariDb { machine, .. } => machine.sched_mode,
+            Command::Audit(_) | Command::Help => None,
+        }
+    }
+}
+
 /// Executes a parsed command; returns the process exit code.
 pub fn execute(cmd: Command) -> i32 {
+    if let Some(mode) = cmd.sched_mode() {
+        numagap_sim::set_default_sched_mode(mode);
+    }
     match cmd {
         Command::Help => {
             println!("{USAGE}");
@@ -2383,6 +2463,46 @@ mod tests {
         match parse(&["check"]).unwrap() {
             Command::Check(args) => assert!(!args.perturb),
             other => panic!("expected check, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_sim_workers() {
+        match parse(&["run", "--app", "fft", "--sim-workers", "8"]).unwrap() {
+            Command::Run(args) => assert_eq!(
+                args.machine.sched_mode,
+                Some(SchedMode::WorkerPool { workers: 8 })
+            ),
+            other => panic!("expected run, got {other:?}"),
+        }
+        match parse(&["check", "--sim-workers", "legacy"]).unwrap() {
+            Command::Check(args) => {
+                assert_eq!(args.machine.sched_mode, Some(SchedMode::LegacyThreads));
+            }
+            other => panic!("expected check, got {other:?}"),
+        }
+        match parse(&["bench", "--target", "scale", "--sim-workers", "2"]).unwrap() {
+            Command::Bench(args) => {
+                assert_eq!(args.target, "scale");
+                assert_eq!(args.sim_workers, Some(SchedMode::WorkerPool { workers: 2 }));
+                assert_eq!(
+                    Command::Bench(args).sched_mode(),
+                    Some(SchedMode::WorkerPool { workers: 2 })
+                );
+            }
+            other => panic!("expected bench, got {other:?}"),
+        }
+        assert!(parse(&["run", "--app", "fft", "--sim-workers", "0"]).is_err());
+        assert!(parse(&["run", "--app", "fft", "--sim-workers", "turbo"]).is_err());
+        match parse(&["run", "--app", "fft"]).unwrap() {
+            Command::Run(args) => {
+                assert_eq!(
+                    args.machine.sched_mode, None,
+                    "unset flag keeps the default"
+                );
+                assert_eq!(Command::Run(args).sched_mode(), None);
+            }
+            other => panic!("expected run, got {other:?}"),
         }
     }
 

@@ -86,6 +86,23 @@ pub fn report(record: LintRecord) {
     });
 }
 
+/// Exchanges the thread-local sink with a rank's saved slot — the
+/// rank-locals swapper [`crate::Machine`] registers with the simulator's
+/// worker-pool scheduler. In N:M mode several ranks share each worker
+/// thread, so the sink travels with the rank's execution context instead of
+/// the thread: the scheduler calls this immediately before a fiber resume
+/// (loading the rank's sink) and immediately after (saving it back). The
+/// `slot` is type-erased by the scheduler; it always holds an
+/// `Option<Vec<LintRecord>>`, lazily initialized to the disarmed state.
+pub(crate) fn swap_sink(slot: &mut Option<Box<dyn std::any::Any + Send>>) {
+    let boxed = slot
+        .get_or_insert_with(|| Box::new(None::<Vec<LintRecord>>) as Box<dyn std::any::Any + Send>);
+    let saved = boxed
+        .downcast_mut::<Option<Vec<LintRecord>>>()
+        .expect("rank-locals slot holds a lint sink");
+    SINK.with(|s| std::mem::swap(&mut *s.borrow_mut(), saved));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,8 +4,8 @@ use std::sync::Arc;
 
 use numagap_net::{NetStats, TwoLayerNetwork, TwoLayerSpec};
 use numagap_sim::{
-    HotProfile, KernelStats, Observer, ProcStats, Sim, SimDuration, SimError, SimTime, TieBreak,
-    TraceLog,
+    HotProfile, KernelStats, Observer, ProcStats, SchedMode, Sim, SimDuration, SimError, SimTime,
+    TieBreak, TraceLog,
 };
 
 use crate::ctx::Ctx;
@@ -32,6 +32,8 @@ pub struct Machine {
     tracing: bool,
     transport: Option<TransportConfig>,
     tie_break: TieBreak,
+    sched_mode: Option<SchedMode>,
+    stack_size: Option<usize>,
 }
 
 impl Machine {
@@ -43,7 +45,27 @@ impl Machine {
             tracing: false,
             transport: None,
             tie_break: TieBreak::Fifo,
+            sched_mode: None,
+            stack_size: None,
         }
+    }
+
+    /// Selects how the simulator maps ranks onto OS threads (see
+    /// [`SchedMode`]): the legacy 1 rank = 1 thread mode, or the N:M worker
+    /// pool that thousand-rank scaling studies need. Virtual time is
+    /// bit-identical across modes and worker counts. Defaults to the
+    /// simulator's process-global mode (the CLI's `--sim-workers` flag).
+    pub fn with_sched_mode(mut self, mode: SchedMode) -> Self {
+        self.sched_mode = Some(mode);
+        self
+    }
+
+    /// Sets the per-rank stack size in bytes (default 8 MiB). Large rank
+    /// counts shrink this so a 4096-rank machine does not reserve tens of
+    /// gigabytes of stacks.
+    pub fn with_stack_size(mut self, bytes: usize) -> Self {
+        self.stack_size = Some(bytes);
+        self
     }
 
     /// Sets the kernel's tiebreak policy for equal-timestamp events
@@ -148,6 +170,16 @@ impl Machine {
         let net = TwoLayerNetwork::new(spec.clone());
         let mut sim = Sim::new(net);
         sim.tie_break(self.tie_break);
+        if let Some(mode) = self.sched_mode {
+            sim.sched_mode(mode);
+        }
+        if let Some(bytes) = self.stack_size {
+            sim.stack_size(bytes);
+        }
+        // Keep each rank's lint sink with its execution context: in N:M
+        // mode ranks share worker threads, so the plain thread-local would
+        // bleed records across ranks (see `lint::swap_sink`).
+        sim.set_rank_locals_swapper(lint::swap_sink);
         if let Some(limit) = self.time_limit {
             sim.time_limit(SimTime::ZERO + limit);
         }
@@ -210,6 +242,7 @@ impl Machine {
             rank_lints,
             transport_stats,
             spec,
+            sim_threads: out.sim_threads,
         })
     }
 }
@@ -239,6 +272,9 @@ pub struct RunReport<T> {
     pub transport_stats: Vec<TransportStats>,
     /// The spec the machine ran with.
     pub spec: TwoLayerSpec,
+    /// Peak number of OS threads the simulator used to execute ranks (the
+    /// worker-pool size in N:M mode, the rank count in legacy mode).
+    pub sim_threads: usize,
 }
 
 impl<T> RunReport<T> {

@@ -268,6 +268,7 @@ pub fn run_serve_bench(opts: &SweepOpts) -> Result<BenchSummary, BenchError> {
                         inter_bytes: 0,
                         seed: Some(seed),
                         profile: None,
+                        sim_threads: None,
                     });
                 }
             }

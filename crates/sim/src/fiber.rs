@@ -1,0 +1,414 @@
+//! Minimal stackful coroutines ("fibers") for the N:M rank scheduler.
+//!
+//! Each simulated rank owns a [`Fiber`]: a heap-allocated stack plus a saved
+//! machine context. A pool worker *resumes* a fiber to run the rank until it
+//! parks on the kernel handoff (via [`yield_now`]), at which point control
+//! returns to the worker. Because a parked fiber is nothing but a stack and a
+//! stack pointer, a later resume may happen on a *different* worker thread —
+//! the rank's execution context migrates freely across the pool.
+//!
+//! The implementation is deliberately tiny: a hand-rolled x86-64 System V
+//! context switch (callee-saved registers + `mxcsr`/x87 control word) written
+//! with `global_asm!`. No guard pages are installed; stack overflow in a
+//! fiber is undefined behaviour, which is why the default per-rank stack
+//! matches the 8 MiB the legacy thread-per-rank mode used. On non-x86-64
+//! hosts [`SUPPORTED`] is `false` and the simulator falls back to the legacy
+//! 1:1 thread mode.
+
+#![cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
+
+/// Whether this build can run fibers (and therefore the worker-pool
+/// scheduler) at all.
+pub(crate) const SUPPORTED: bool = cfg!(target_arch = "x86_64");
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) use imp::{yield_now, Fiber};
+
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) use fallback::{yield_now, Fiber};
+
+#[cfg(target_arch = "x86_64")]
+mod imp {
+    use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
+    use std::cell::Cell;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::ptr;
+
+    // The context switch saves the System V callee-saved integer registers
+    // plus the SSE and x87 control words (their callee-saved portions), then
+    // swaps stacks. Frame layout at a saved stack pointer, low to high:
+    //
+    //   rsp + 0   mxcsr (4 bytes) | x87 control word (2 bytes) | pad
+    //   rsp + 8   r15
+    //   rsp + 16  r14
+    //   rsp + 24  r13
+    //   rsp + 32  r12
+    //   rsp + 40  rbx
+    //   rsp + 48  rbp
+    //   rsp + 56  return address
+    //
+    // A brand-new fiber's frame is forged by `Fiber::new` so that the first
+    // switch "returns" into `numagap_fiber_trampoline` with the control-block
+    // pointer in r12 and the entry shim in r13.
+    std::arch::global_asm!(
+        ".text",
+        ".balign 16",
+        ".globl numagap_fiber_switch",
+        "numagap_fiber_switch:",
+        "push rbp",
+        "push rbx",
+        "push r12",
+        "push r13",
+        "push r14",
+        "push r15",
+        "sub rsp, 8",
+        "stmxcsr [rsp]",
+        "fnstcw [rsp + 4]",
+        "mov [rdi], rsp",
+        "mov rsp, rsi",
+        "ldmxcsr [rsp]",
+        "fldcw [rsp + 4]",
+        "add rsp, 8",
+        "pop r15",
+        "pop r14",
+        "pop r13",
+        "pop r12",
+        "pop rbx",
+        "pop rbp",
+        "ret",
+        ".balign 16",
+        ".globl numagap_fiber_trampoline",
+        "numagap_fiber_trampoline:",
+        "mov rdi, r12",
+        "call r13",
+        "ud2",
+    );
+
+    extern "C" {
+        /// Saves the current context's stack pointer through `save` and
+        /// resumes the context whose saved stack pointer is `restore_rsp`.
+        fn numagap_fiber_switch(save: *mut usize, restore_rsp: usize);
+        fn numagap_fiber_trampoline();
+    }
+
+    /// Per-fiber control block, carved out of the top of the fiber's own
+    /// stack allocation so a `Fiber` is a single allocation.
+    struct Control {
+        /// Saved stack pointer of the fiber while it is parked.
+        fiber_rsp: usize,
+        /// Saved stack pointer of whichever worker resumed the fiber.
+        caller_rsp: usize,
+        /// Set by the fiber just before its final switch back to the worker.
+        finished: bool,
+        /// The rank body; taken by the trampoline on first resume.
+        entry: Option<Box<dyn FnOnce() + Send>>,
+    }
+
+    thread_local! {
+        /// Control block of the fiber currently running on this thread, if
+        /// any. `yield_now` uses it to find its way back to the worker.
+        static CURRENT: Cell<*mut Control> = const { Cell::new(ptr::null_mut()) };
+    }
+
+    /// A parked, resumable execution context with its own stack.
+    pub(crate) struct Fiber {
+        ctl: *mut Control,
+        stack: *mut u8,
+        layout: Layout,
+    }
+
+    // SAFETY: a parked fiber is inert data (a stack plus saved registers) and
+    // its entry closure is required to be `Send`; the scheduler guarantees at
+    // most one thread resumes it at a time.
+    unsafe impl Send for Fiber {}
+
+    impl std::fmt::Debug for Fiber {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Fiber")
+                .field("stack_bytes", &self.layout.size())
+                .finish_non_exhaustive()
+        }
+    }
+
+    /// Default mxcsr: all exceptions masked, round-to-nearest (the value
+    /// `rustc`-generated code expects on function entry).
+    const MXCSR_INIT: u64 = 0x1F80;
+    /// Default x87 control word: all exceptions masked, 64-bit precision,
+    /// round-to-nearest.
+    const FPCW_INIT: u64 = 0x037F;
+
+    const fn round_up16(n: usize) -> usize {
+        (n + 15) & !15
+    }
+
+    extern "C" fn fiber_entry(ctl: *mut Control) {
+        // SAFETY: the trampoline passes the control-block pointer forged by
+        // `Fiber::new`; the block outlives the fiber's whole run.
+        let ctl_ref = unsafe { &mut *ctl };
+        let entry = ctl_ref
+            .entry
+            .take()
+            .expect("fiber resumed twice through its trampoline");
+        // Backstop: the scheduler wraps rank bodies in their own
+        // catch_unwind, so this one should never see a payload — but a panic
+        // escaping through the forged assembly frame would be undefined
+        // behaviour, so catch it unconditionally.
+        if catch_unwind(AssertUnwindSafe(entry)).is_err() {
+            std::process::abort();
+        }
+        ctl_ref.finished = true;
+        let caller = ctl_ref.caller_rsp;
+        // SAFETY: switching back to the worker that performed this resume;
+        // both saved contexts are live.
+        unsafe { numagap_fiber_switch(&mut ctl_ref.fiber_rsp, caller) };
+        // A finished fiber must never be resumed again.
+        std::process::abort();
+    }
+
+    impl Fiber {
+        /// Creates a fiber that will run `entry` on its own `stack_size`-byte
+        /// stack when first resumed. The closure must not unwind (the
+        /// scheduler wraps rank bodies in `catch_unwind`).
+        pub(crate) fn new(stack_size: usize, entry: Box<dyn FnOnce() + Send>) -> Self {
+            let ctl_space = round_up16(std::mem::size_of::<Control>());
+            let size = round_up16(stack_size.max(ctl_space + 4096));
+            let layout = Layout::from_size_align(size, 16).expect("fiber stack layout overflowed");
+            // SAFETY: `layout` has non-zero size.
+            let stack = unsafe { alloc(layout) };
+            if stack.is_null() {
+                handle_alloc_error(layout);
+            }
+            // The control block sits at the very top of the allocation; the
+            // usable stack grows down from just below it.
+            let sp0 = stack as usize + size - ctl_space;
+            let ctl = sp0 as *mut Control;
+            // SAFETY: `ctl` is 16-aligned, in-bounds, and has `ctl_space`
+            // bytes of room.
+            unsafe {
+                ptr::write(
+                    ctl,
+                    Control {
+                        fiber_rsp: 0,
+                        caller_rsp: 0,
+                        finished: false,
+                        entry: Some(entry),
+                    },
+                );
+            }
+            // Forge the initial switch frame (see the asm comment for the
+            // layout). After the first switch "returns" into the trampoline
+            // the stack pointer is `sp0`, 16-aligned, so the `call r13`
+            // leaves the entry shim with the ABI-required alignment.
+            let seed = |offset: usize, value: u64| {
+                // SAFETY: all seeded slots lie in `[sp0 - 64, sp0)`, inside
+                // the allocation and below the control block.
+                unsafe { ptr::write((sp0 - offset) as *mut u64, value) };
+            };
+            seed(8, numagap_fiber_trampoline as *const () as usize as u64);
+            seed(16, 0); // rbp
+            seed(24, 0); // rbx
+            seed(32, ctl as u64); // r12 -> control block
+            seed(
+                40,
+                fiber_entry as extern "C" fn(*mut Control) as usize as u64,
+            ); // r13
+            seed(48, 0); // r14
+            seed(56, 0); // r15
+            seed(64, MXCSR_INIT | (FPCW_INIT << 32));
+            // SAFETY: ctl was just initialised.
+            unsafe { (*ctl).fiber_rsp = sp0 - 64 };
+            Fiber { ctl, stack, layout }
+        }
+
+        /// Runs the fiber until it parks or finishes. Returns `true` once the
+        /// fiber's entry closure has returned; resuming after that aborts.
+        pub(crate) fn resume(&mut self) -> bool {
+            let ctl = self.ctl;
+            let prev = CURRENT.with(|c| c.replace(ctl));
+            // SAFETY: the fiber is parked (its saved context is valid) and we
+            // are the only thread resuming it; the switch saves this thread's
+            // context into `caller_rsp` before jumping.
+            unsafe {
+                let caller = ptr::addr_of_mut!((*ctl).caller_rsp);
+                let target = (*ctl).fiber_rsp;
+                numagap_fiber_switch(caller, target);
+            }
+            CURRENT.with(|c| c.set(prev));
+            // SAFETY: the control block stays valid for the fiber's lifetime.
+            unsafe { (*ctl).finished }
+        }
+    }
+
+    impl Drop for Fiber {
+        fn drop(&mut self) {
+            // In normal operation the fiber is either never started (entry
+            // still present — drop it with the control block) or finished.
+            // A suspended fiber can only be dropped during a panic teardown
+            // of the scheduler; its stack is deallocated without being
+            // resumed, so values living on it leak — safe (the fiber can
+            // never run again), and the process is unwinding anyway.
+            // SAFETY: we own the allocation and nothing can resume the
+            // fiber concurrently.
+            unsafe {
+                ptr::drop_in_place(self.ctl);
+                dealloc(self.stack, self.layout);
+            }
+        }
+    }
+
+    /// Parks the currently running fiber, returning control to the worker
+    /// that resumed it. Panics when called from outside a fiber.
+    pub(crate) fn yield_now() {
+        let ctl = CURRENT.with(Cell::get);
+        assert!(
+            !ctl.is_null(),
+            "fiber::yield_now called outside a fiber context"
+        );
+        // SAFETY: `ctl` is the live control block of the fiber running on
+        // this very thread; `caller_rsp` was saved by the resume that got us
+        // here.
+        unsafe {
+            let save = ptr::addr_of_mut!((*ctl).fiber_rsp);
+            let target = (*ctl).caller_rsp;
+            numagap_fiber_switch(save, target);
+        }
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+mod fallback {
+    //! Inert stand-in so the crate compiles on non-x86-64 hosts; the kernel
+    //! checks [`super::SUPPORTED`] and never constructs one of these there.
+
+    /// Unreachable placeholder for the real fiber type.
+    pub(crate) struct Fiber {}
+
+    impl std::fmt::Debug for Fiber {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Fiber").finish_non_exhaustive()
+        }
+    }
+
+    impl Fiber {
+        pub(crate) fn new(_stack_size: usize, _entry: Box<dyn FnOnce() + Send>) -> Self {
+            unreachable!("fibers are not supported on this architecture")
+        }
+
+        pub(crate) fn resume(&mut self) -> bool {
+            unreachable!("fibers are not supported on this architecture")
+        }
+    }
+
+    pub(crate) fn yield_now() {
+        unreachable!("fibers are not supported on this architecture")
+    }
+}
+
+#[cfg(all(test, not(loom), target_arch = "x86_64"))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn fiber_runs_to_completion() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let mut f = Fiber::new(
+            64 * 1024,
+            Box::new(move || {
+                h.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        assert!(f.resume());
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn fiber_yields_and_resumes_preserving_state() {
+        let log = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let l = Arc::clone(&log);
+        let mut f = Fiber::new(
+            64 * 1024,
+            Box::new(move || {
+                let mut local = 10u64;
+                l.lock().expect("log poisoned").push(local);
+                yield_now();
+                local += 1;
+                l.lock().expect("log poisoned").push(local);
+                yield_now();
+                local += 1;
+                l.lock().expect("log poisoned").push(local);
+            }),
+        );
+        assert!(!f.resume());
+        assert!(!f.resume());
+        assert!(f.resume());
+        assert_eq!(*log.lock().expect("log poisoned"), vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn fiber_migrates_between_threads() {
+        let sum = Arc::new(AtomicUsize::new(0));
+        let s = Arc::clone(&sum);
+        let mut f = Fiber::new(
+            64 * 1024,
+            Box::new(move || {
+                let local = 7usize;
+                yield_now();
+                s.fetch_add(local * 2, Ordering::SeqCst);
+            }),
+        );
+        assert!(!f.resume());
+        // Finish the fiber on a different OS thread: the saved context and
+        // stack must travel intact.
+        let done = std::thread::spawn(move || {
+            let finished = f.resume();
+            (finished, f)
+        })
+        .join()
+        .expect("fiber thread panicked");
+        assert!(done.0);
+        assert_eq!(sum.load(Ordering::SeqCst), 14);
+    }
+
+    #[test]
+    fn never_started_fiber_drops_cleanly() {
+        struct NoteDrop(Arc<AtomicUsize>);
+        impl Drop for NoteDrop {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let note = NoteDrop(Arc::clone(&drops));
+        let f = Fiber::new(
+            64 * 1024,
+            Box::new(move || {
+                let _keep = &note;
+            }),
+        );
+        drop(f);
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn float_state_survives_switches() {
+        let out = Arc::new(std::sync::Mutex::new(0.0f64));
+        let o = Arc::clone(&out);
+        let mut f = Fiber::new(
+            64 * 1024,
+            Box::new(move || {
+                let mut acc = 1.0f64 / 3.0;
+                yield_now();
+                acc += 2.5;
+                yield_now();
+                acc *= 3.0;
+                *o.lock().expect("out poisoned") = acc;
+            }),
+        );
+        while !f.resume() {}
+        let expect = (1.0f64 / 3.0 + 2.5) * 3.0;
+        assert_eq!(*out.lock().expect("out poisoned"), expect);
+    }
+}

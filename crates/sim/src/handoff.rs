@@ -64,8 +64,16 @@ struct Slot {
     proc_parked: bool,
     /// The kernel is parked on `to_kernel` waiting for this process.
     kernel_parked: bool,
+    /// N:M mode: the process *fiber* yielded back to the scheduler and
+    /// needs a [`crate::sched`] wake to resume — distinct from
+    /// `proc_parked`, which records a real OS-thread park (and feeds the
+    /// `park_wakes` counter, which must keep meaning futex-level wakes).
+    sched_parked: bool,
     /// The process side was dropped; no request will ever arrive again.
     proc_gone: bool,
+    /// N:M mode: panic message captured by the fiber's `catch_unwind`
+    /// before it hung up (there is no thread join to harvest it from).
+    failure: Option<String>,
     /// Condvar notifies issued while the peer was recorded as parked.
     park_wakes: u64,
 }
@@ -88,8 +96,11 @@ impl Handoff {
     }
 
     /// Kernel side: publishes a grant, waking the process if it is parked.
-    /// Returns `Err(Hangup)` if the process side already hung up.
-    pub(crate) fn grant(&self, grant: Grant) -> Result<(), Hangup> {
+    /// Returns `Err(Hangup)` if the process side already hung up, and
+    /// otherwise whether the process fiber is parked on the scheduler and
+    /// needs a [`crate::sched::Scheduler::wake`] to resume (always `false`
+    /// in legacy 1:1 mode, where the thread wake happens right here).
+    pub(crate) fn grant(&self, grant: Grant) -> Result<bool, Hangup> {
         let mut s = self.slot.lock().expect("handoff mutex poisoned");
         if s.proc_gone {
             return Err(Hangup);
@@ -100,7 +111,9 @@ impl Handoff {
             s.park_wakes += 1;
             self.to_proc.notify_one();
         }
-        Ok(())
+        let needs_wake = s.sched_parked;
+        s.sched_parked = false;
+        Ok(needs_wake)
     }
 
     /// Kernel side: takes the next request, spinning briefly before
@@ -176,16 +189,77 @@ impl Handoff {
         }
     }
 
+    /// N:M mode: the process fiber's grant wait. Identical protocol to
+    /// [`Self::wait_grant`], but instead of parking the OS thread it marks
+    /// the slot scheduler-parked and yields the *fiber* back to its worker;
+    /// the kernel's next grant sees the mark and issues a scheduler wake.
+    /// The mark is set and the grant checked under one lock acquisition, so
+    /// a grant can never slip between the check and the yield unnoticed —
+    /// it either lands in the spin window (no scheduler interaction) or
+    /// observes `sched_parked` and wakes the fiber.
+    pub(crate) fn wait_grant_fiber(&self) -> Grant {
+        loop {
+            for i in 0..SPIN + YIELDS {
+                if let Ok(mut s) = self.slot.try_lock() {
+                    if let Some(grant) = s.grant.take() {
+                        return grant;
+                    }
+                }
+                if i < SPIN {
+                    crate::sync::spin_loop();
+                } else {
+                    crate::sync::yield_now();
+                }
+            }
+            {
+                let mut s = self.slot.lock().expect("handoff mutex poisoned");
+                if let Some(grant) = s.grant.take() {
+                    return grant;
+                }
+                s.sched_parked = true;
+            }
+            crate::fiber::yield_now();
+        }
+    }
+
+    /// N:M mode: arms the scheduler-park mark on a brand-new rank whose
+    /// fiber has never run, so the kernel's very first grant reports
+    /// `needs_wake` and dispatches the fiber for the first time.
+    pub(crate) fn prime_sched_parked(&self) {
+        let mut s = self.slot.lock().expect("handoff mutex poisoned");
+        s.sched_parked = true;
+    }
+
     /// Process side: marks the slot dead on thread exit (normal or panic)
     /// and wakes the kernel if it is waiting for a request that will never
-    /// come. Called from [`crate::process::ProcSide`]'s `Drop`.
+    /// come. Called from [`crate::process::HangupGuard`]'s `Drop`.
     pub(crate) fn hangup(&self) {
+        self.hangup_with(None);
+    }
+
+    /// N:M mode: hangs up and simultaneously records the panic message the
+    /// fiber's `catch_unwind` captured (if any), under one lock, so the
+    /// kernel can never observe the hangup without the failure being
+    /// readable via [`Self::take_failure`].
+    pub(crate) fn hangup_with(&self, failure: Option<String>) {
         let mut s = self.slot.lock().expect("handoff mutex poisoned");
         s.proc_gone = true;
+        if failure.is_some() {
+            s.failure = failure;
+        }
         if s.kernel_parked {
             s.park_wakes += 1;
             self.to_kernel.notify_one();
         }
+    }
+
+    /// Kernel side: takes the panic message recorded by a fiber hangup.
+    pub(crate) fn take_failure(&self) -> Option<String> {
+        self.slot
+            .lock()
+            .expect("handoff mutex poisoned")
+            .failure
+            .take()
     }
 
     /// Total condvar notifies that woke an actually-parked peer, both

@@ -30,12 +30,14 @@ use serde::{Deserialize, Serialize};
 
 use crate::equeue::{EventEntry, EventKind, EventQueue, TieBreak};
 use crate::error::{PendingMessage, ProcFailure, SimError, WaitState};
+use crate::fiber::Fiber;
 use crate::handoff::Handoff;
 use crate::mailbox::{Mailbox, MailboxCounters};
 use crate::message::{self, Filter, Message, Payload, Tag};
 use crate::network::{FaultEvent, FaultKind, Network};
 use crate::observe::Observer;
 use crate::process::{AbortToken, Grant, HangupGuard, ProcCtx, Request};
+use crate::sched::{LocalsSwapper, SchedMode, SchedReport, Scheduler, Task};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::TraceLog;
 use crate::ProcId;
@@ -143,6 +145,16 @@ pub struct RunOutcome<N> {
     pub network: N,
     /// The execution trace, if tracing was enabled.
     pub trace: Option<TraceLog>,
+    /// Peak number of OS threads the simulator used to execute ranks: the
+    /// worker count under [`SchedMode::WorkerPool`], the rank count under
+    /// [`SchedMode::LegacyThreads`]. (The kernel's own thread is on top.)
+    pub sim_threads: usize,
+    /// Rank dispatch order: the sequence of grants the kernel issued, one
+    /// entry per context switch into a rank. Recorded only when
+    /// [`Sim::record_dispatch`] was enabled; `None` otherwise. A pure
+    /// function of the canonical event order — identical across scheduler
+    /// modes, worker counts, and reruns.
+    pub dispatch: Option<Vec<u32>>,
 }
 
 impl<N: std::fmt::Debug> std::fmt::Debug for RunOutcome<N> {
@@ -152,6 +164,7 @@ impl<N: std::fmt::Debug> std::fmt::Debug for RunOutcome<N> {
             .field("nprocs", &self.results.len())
             .field("kernel_stats", &self.kernel_stats)
             .field("network", &self.network)
+            .field("sim_threads", &self.sim_threads)
             .finish_non_exhaustive()
     }
 }
@@ -206,6 +219,9 @@ pub struct Sim<N: Network> {
     tracing: bool,
     observer: Option<Box<dyn Observer>>,
     tie_break: TieBreak,
+    sched_mode: Option<SchedMode>,
+    record_dispatch: bool,
+    locals_swapper: Option<LocalsSwapper>,
 }
 
 impl<N: Network + std::fmt::Debug> std::fmt::Debug for Sim<N> {
@@ -229,7 +245,45 @@ impl<N: Network> Sim<N> {
             tracing: false,
             observer: None,
             tie_break: TieBreak::Fifo,
+            sched_mode: None,
+            record_dispatch: false,
+            locals_swapper: None,
         }
+    }
+
+    /// Selects how ranks are mapped onto OS threads (default: the
+    /// process-global mode from [`crate::set_default_sched_mode`], which
+    /// itself defaults to a single-worker pool where fibers are supported).
+    /// Virtual time is bit-identical across modes and worker counts; only
+    /// real time and thread count differ. On targets without fiber support
+    /// a requested pool silently falls back to [`SchedMode::LegacyThreads`].
+    pub fn sched_mode(&mut self, mode: SchedMode) -> &mut Self {
+        self.sched_mode = Some(mode);
+        self
+    }
+
+    /// Records the kernel's grant sequence into [`RunOutcome::dispatch`]
+    /// (test instrumentation; off by default, works in either scheduler
+    /// mode).
+    pub fn record_dispatch(&mut self) -> &mut Self {
+        self.record_dispatch = true;
+        self
+    }
+
+    /// Registers a swapper for opaque per-rank thread-local state. In
+    /// worker-pool mode several ranks share each worker thread, so an
+    /// embedder keeping rank state in thread-locals (the runtime crate's
+    /// lint sink, for example) registers a function here that exchanges the
+    /// thread-local contents with the rank's saved slot; the scheduler
+    /// calls it immediately before and after every fiber resume. Between
+    /// resumes the worker's own slot is always `None`. Legacy 1:1 runs
+    /// ignore the hook — each rank owns its thread and its thread-locals.
+    pub fn set_rank_locals_swapper<F>(&mut self, swap: F) -> &mut Self
+    where
+        F: Fn(&mut Option<Box<dyn Any + Send>>) + Send + Sync + 'static,
+    {
+        self.locals_swapper = Some(Arc::new(swap));
+        self
     }
 
     /// Sets the tiebreak policy for equal-timestamp events (default
@@ -359,49 +413,140 @@ struct Kernel<N: Network> {
     first_failure: Option<usize>,
     trace: Option<TraceLog>,
     observer: Option<Box<dyn Observer>>,
+    /// The worker pool driving rank fibers ([`SchedMode::WorkerPool`] only;
+    /// `None` in legacy 1:1 mode and after teardown).
+    sched: Option<Scheduler>,
+    /// Pool counters harvested by the normal-exit teardown.
+    sched_report: Option<SchedReport>,
+    /// Peak rank-executing thread count (workers, or ranks in legacy mode).
+    sim_threads: usize,
+    /// Grant sequence for [`RunOutcome::dispatch`], recorded at the grant
+    /// site (single-threaded, canonical order) when enabled.
+    dispatch_log: Option<Vec<u32>>,
 }
 
 impl<N: Network> Kernel<N> {
     fn start(sim: Sim<N>) -> Self {
         let nprocs = sim.entries.len();
+        let mode = sim
+            .sched_mode
+            .unwrap_or_else(crate::sched::default_sched_mode);
+        let mode = if crate::fiber::SUPPORTED {
+            mode
+        } else {
+            SchedMode::LegacyThreads
+        };
         let mut slots = Vec::with_capacity(nprocs);
-        for (rank, entry) in sim.entries.into_iter().enumerate() {
-            let handoff = Arc::new(Handoff::new());
-            let proc_handoff = Arc::clone(&handoff);
-            let join = std::thread::Builder::new()
-                .name(format!("simproc-{rank}"))
-                .stack_size(sim.stack_size)
-                .spawn(move || {
-                    message::reset_clone_bytes();
-                    let mut ctx = ProcCtx {
-                        id: ProcId(rank),
-                        nprocs,
-                        now: SimTime::ZERO,
-                        _hangup: HangupGuard(Arc::clone(&proc_handoff)),
-                        handoff: proc_handoff,
-                    };
-                    // Wait for the initial wake before running user code.
-                    match ctx.handoff.wait_grant() {
-                        Grant::Proceed(t) => ctx.now = t,
-                        Grant::Abort => std::panic::panic_any(AbortToken),
-                        _ => unreachable!("initial grant must be a proceed"),
-                    }
-                    let result = entry(&mut ctx);
-                    ctx.finish(result);
-                })
-                .expect("failed to spawn simulated process thread");
-            slots.push(ProcSlot {
-                handoff,
-                join: Some(join),
-                mailbox: Mailbox::default(),
-                state: ProcState::Idle,
-                clock: SimTime::ZERO,
-                block_start: SimTime::ZERO,
-                stats: ProcStats::default(),
-                result: None,
-                failure: None,
-            });
-        }
+        let mut sched = None;
+        let sim_threads = match mode {
+            SchedMode::WorkerPool { workers } => {
+                // N:M mode: each rank is a fiber; a fixed worker pool
+                // resumes whichever rank the kernel grants. The handoff is
+                // primed so the very first grant reports `needs_wake` and
+                // dispatches the fiber for its first run.
+                let mut tasks = Vec::with_capacity(nprocs);
+                for (rank, entry) in sim.entries.into_iter().enumerate() {
+                    let handoff = Arc::new(Handoff::new());
+                    handoff.prime_sched_parked();
+                    let proc_handoff = Arc::clone(&handoff);
+                    let fiber = Fiber::new(
+                        sim.stack_size,
+                        Box::new(move || {
+                            let outcome =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    let mut ctx = ProcCtx {
+                                        id: ProcId(rank),
+                                        nprocs,
+                                        now: SimTime::ZERO,
+                                        // Defused: the wrapper below hangs up
+                                        // explicitly, with the panic message.
+                                        _hangup: HangupGuard(None),
+                                        handoff: Arc::clone(&proc_handoff),
+                                        fiber: true,
+                                    };
+                                    // Wait for the initial wake before
+                                    // running user code.
+                                    match ctx.handoff.wait_grant_fiber() {
+                                        Grant::Proceed(t) => ctx.now = t,
+                                        Grant::Abort => std::panic::panic_any(AbortToken),
+                                        _ => unreachable!("initial grant must be a proceed"),
+                                    }
+                                    let result = entry(&mut ctx);
+                                    ctx.finish(result);
+                                }));
+                            // Hangup and failure message land in the slot
+                            // under one lock: the kernel can never observe
+                            // the hangup without the diagnostic.
+                            match outcome {
+                                Ok(()) => proc_handoff.hangup_with(None),
+                                Err(payload) => {
+                                    proc_handoff.hangup_with(Some(panic_message(&*payload)));
+                                }
+                            }
+                        }),
+                    );
+                    tasks.push(Task {
+                        fiber,
+                        clone_bytes: 0,
+                        locals: None,
+                    });
+                    slots.push(ProcSlot {
+                        handoff,
+                        join: None,
+                        mailbox: Mailbox::default(),
+                        state: ProcState::Idle,
+                        clock: SimTime::ZERO,
+                        block_start: SimTime::ZERO,
+                        stats: ProcStats::default(),
+                        result: None,
+                        failure: None,
+                    });
+                }
+                sched = Some(Scheduler::new(workers, tasks, sim.locals_swapper.clone()));
+                workers.max(1)
+            }
+            SchedMode::LegacyThreads => {
+                for (rank, entry) in sim.entries.into_iter().enumerate() {
+                    let handoff = Arc::new(Handoff::new());
+                    let proc_handoff = Arc::clone(&handoff);
+                    let join = std::thread::Builder::new()
+                        .name(format!("simproc-{rank}"))
+                        .stack_size(sim.stack_size)
+                        .spawn(move || {
+                            message::reset_clone_bytes();
+                            let mut ctx = ProcCtx {
+                                id: ProcId(rank),
+                                nprocs,
+                                now: SimTime::ZERO,
+                                _hangup: HangupGuard(Some(Arc::clone(&proc_handoff))),
+                                handoff: proc_handoff,
+                                fiber: false,
+                            };
+                            // Wait for the initial wake before running user code.
+                            match ctx.handoff.wait_grant() {
+                                Grant::Proceed(t) => ctx.now = t,
+                                Grant::Abort => std::panic::panic_any(AbortToken),
+                                _ => unreachable!("initial grant must be a proceed"),
+                            }
+                            let result = entry(&mut ctx);
+                            ctx.finish(result);
+                        })
+                        .expect("failed to spawn simulated process thread");
+                    slots.push(ProcSlot {
+                        handoff,
+                        join: Some(join),
+                        mailbox: Mailbox::default(),
+                        state: ProcState::Idle,
+                        clock: SimTime::ZERO,
+                        block_start: SimTime::ZERO,
+                        stats: ProcStats::default(),
+                        result: None,
+                        failure: None,
+                    });
+                }
+                nprocs
+            }
+        };
         let mut kernel = Kernel {
             net: sim.net,
             queue: EventQueue::default(),
@@ -419,6 +564,10 @@ impl<N: Network> Kernel<N> {
             first_failure: None,
             trace: sim.tracing.then(TraceLog::default),
             observer: sim.observer,
+            sched,
+            sched_report: None,
+            sim_threads,
+            dispatch_log: sim.record_dispatch.then(Vec::new),
         };
         for rank in 0..nprocs {
             kernel.schedule(SimTime::ZERO, EventKind::Wake(ProcId(rank)));
@@ -440,14 +589,32 @@ impl<N: Network> Kernel<N> {
 
     /// Hands a grant to process `p`; on hangup (the thread panicked while
     /// parked, which only the teardown path can produce) harvests the
-    /// failure and reports `false`.
+    /// failure and reports `false`. In worker-pool mode a grant to a rank
+    /// whose fiber is parked on the scheduler also dispatches that fiber.
     fn send_grant(&mut self, p: ProcId, grant: Grant) -> bool {
         self.profile.switches += 1;
-        if self.slots[p.0].handoff.grant(grant).is_err() {
-            self.harvest_failure(p);
-            return false;
+        match self.slots[p.0].handoff.grant(grant) {
+            Ok(needs_wake) => {
+                // Logged per grant, here on the single-threaded kernel, in
+                // canonical event order. Whether the grant also needs a
+                // scheduler wake (the fiber already parked) or lands while
+                // the rank is still running is host timing and must not
+                // show in the log.
+                if let Some(log) = self.dispatch_log.as_mut() {
+                    log.push(p.0 as u32);
+                }
+                if needs_wake {
+                    if let Some(sched) = &self.sched {
+                        sched.wake(p.0);
+                    }
+                }
+                true
+            }
+            Err(_) => {
+                self.harvest_failure(p);
+                false
+            }
         }
-        true
     }
 
     /// Books every deferred send against the network in canonical
@@ -632,7 +799,11 @@ impl<N: Network> Kernel<N> {
             self.abort_all();
             return Err(SimError::Deadlock { at, procs, cycle });
         }
-        // All processes exited; drain threads.
+        // All processes exited; drain the execution contexts (worker pool
+        // or dedicated threads, depending on the mode).
+        if let Some(sched) = self.sched.take() {
+            self.sched_report = Some(sched.finish());
+        }
         for slot in &mut self.slots {
             if let Some(join) = slot.join.take() {
                 let _ = join.join();
@@ -658,6 +829,13 @@ impl<N: Network> Kernel<N> {
         for slot in &self.slots {
             profile.park_wakes += slot.handoff.park_wakes();
         }
+        if let Some(report) = self.sched_report.take() {
+            // Pool-side condvar wakes join the handoff's futex-level wakes:
+            // both are real thread wakes, and both are host-timing
+            // dependent (excluded from exact comparison).
+            profile.park_wakes += report.park_wakes;
+        }
+        let dispatch = self.dispatch_log.take();
         Ok(RunOutcome {
             elapsed,
             results: self
@@ -678,6 +856,8 @@ impl<N: Network> Kernel<N> {
             profile,
             network: self.net,
             trace: self.trace,
+            sim_threads: self.sim_threads,
+            dispatch,
         })
     }
 
@@ -871,22 +1051,22 @@ impl<N: Network> Kernel<N> {
         slot.mailbox.push(msg);
     }
 
-    /// Joins a dead process thread, records its panic as the rank's result
-    /// slot, and lets the rest of the machine keep running.
+    /// Records a dead rank's panic as its own result slot and lets the rest
+    /// of the machine keep running. Legacy mode harvests the panic payload
+    /// by joining the rank's dedicated thread; pool mode reads the message
+    /// the fiber wrapper recorded in the handoff slot at hangup (only the
+    /// owning rank fails — its worker thread and every co-scheduled rank
+    /// are untouched).
     fn harvest_failure(&mut self, p: ProcId) {
-        let message = match self.slots[p.0].join.take().map(|j| j.join()) {
-            Some(Err(payload)) => {
-                if payload.is::<AbortToken>() {
-                    "aborted by kernel".to_string()
-                } else if let Some(s) = payload.downcast_ref::<&str>() {
-                    (*s).to_string()
-                } else if let Some(s) = payload.downcast_ref::<String>() {
-                    s.clone()
-                } else {
-                    "<non-string panic payload>".to_string()
-                }
-            }
-            _ => "<process hung up without panicking>".to_string(),
+        let message = match self.slots[p.0].join.take() {
+            Some(join) => match join.join() {
+                Err(payload) => panic_message(&*payload),
+                Ok(()) => "<process hung up without panicking>".to_string(),
+            },
+            None => self.slots[p.0]
+                .handoff
+                .take_failure()
+                .unwrap_or_else(|| "<process hung up without panicking>".to_string()),
         };
         let slot = &mut self.slots[p.0];
         slot.state = ProcState::Done;
@@ -914,14 +1094,42 @@ impl<N: Network> Kernel<N> {
     }
 
     fn abort_all(&mut self) {
-        for slot in &mut self.slots {
-            if !matches!(slot.state, ProcState::Done) {
-                let _ = slot.handoff.grant(Grant::Abort);
+        for rank in 0..self.slots.len() {
+            if !matches!(self.slots[rank].state, ProcState::Done) {
+                // Every live rank is parked waiting for a grant (strict
+                // rendezvous — see `run`), so the Abort is always
+                // deliverable; in pool mode a scheduler-parked fiber also
+                // needs its dispatch to observe it.
+                if let Ok(needs_wake) = self.slots[rank].handoff.grant(Grant::Abort) {
+                    if needs_wake {
+                        if let Some(sched) = &self.sched {
+                            sched.wake(rank);
+                        }
+                    }
+                }
             }
-            if let Some(join) = slot.join.take() {
+            if let Some(join) = self.slots[rank].join.take() {
                 let _ = join.join();
             }
         }
+        if let Some(sched) = self.sched.take() {
+            // Every fiber observes its Abort (or already finished), unwinds
+            // via AbortToken and completes, so this terminates.
+            let _ = sched.finish();
+        }
+    }
+}
+
+/// Renders a caught panic payload the way `harvest_failure` always has.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if payload.is::<AbortToken>() {
+        "aborted by kernel".to_string()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 

@@ -37,6 +37,7 @@
 
 mod equeue;
 mod error;
+mod fiber;
 mod handoff;
 mod kernel;
 mod mailbox;
@@ -44,6 +45,7 @@ mod message;
 mod network;
 mod observe;
 mod process;
+mod sched;
 pub mod sync;
 mod time;
 mod trace;
@@ -55,6 +57,7 @@ pub use message::{Filter, Message, Payload, Tag, TagFilter};
 pub use network::{FaultDisposition, FaultEvent, FaultKind, IdealNetwork, Network, Transfer};
 pub use observe::Observer;
 pub use process::ProcCtx;
+pub use sched::{set_default_sched_mode, SchedMode};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceLog};
 

@@ -92,16 +92,25 @@ pub type Payload = Arc<dyn Any + Send + Sync>;
 use std::cell::Cell;
 
 thread_local! {
-    /// Payload bytes deep-copied out of messages on this thread. Each
-    /// simulated process is one OS thread, so the kernel can attribute the
-    /// counter exactly: it is reset when a process starts and harvested
-    /// when it exits, feeding [`crate::HotProfile::bytes_cloned`].
+    /// Payload bytes deep-copied out of messages on this thread, feeding
+    /// [`crate::HotProfile::bytes_cloned`]. In legacy 1:1 mode each
+    /// simulated process is one OS thread, so the counter is reset when a
+    /// process starts and harvested when it exits. In N:M mode several
+    /// ranks share each worker thread, so the scheduler swaps the counter
+    /// in and out around every fiber resume ([`set_clone_bytes`]) to keep
+    /// the per-rank attribution exact.
     static CLONE_BYTES: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Resets this thread's payload-clone byte counter (kernel use).
 pub(crate) fn reset_clone_bytes() {
     CLONE_BYTES.with(|c| c.set(0));
+}
+
+/// Loads a rank's saved payload-clone byte count onto this worker thread
+/// before resuming its fiber (scheduler use).
+pub(crate) fn set_clone_bytes(v: u64) {
+    CLONE_BYTES.with(|c| c.set(v));
 }
 
 /// Reads this thread's payload-clone byte counter (kernel use).

@@ -58,11 +58,18 @@ pub(crate) struct AbortToken;
 /// return (after `Exit` is published), a user panic unwinding the entry
 /// function, or an [`AbortToken`] unwind — waking a kernel that would
 /// otherwise park forever waiting for the next request.
-pub(crate) struct HangupGuard(pub(crate) Arc<Handoff>);
+///
+/// In N:M mode the guard is defused (`None`): the fiber wrapper hangs up
+/// explicitly via [`Handoff::hangup_with`] *after* its `catch_unwind`, so
+/// the panic message is recorded in the slot atomically with the hangup
+/// (there is no thread join for the kernel to harvest a payload from).
+pub(crate) struct HangupGuard(pub(crate) Option<Arc<Handoff>>);
 
 impl Drop for HangupGuard {
     fn drop(&mut self) {
-        self.0.hangup();
+        if let Some(h) = &self.0 {
+            h.hangup();
+        }
     }
 }
 
@@ -93,6 +100,9 @@ pub struct ProcCtx {
     pub(crate) now: SimTime,
     pub(crate) handoff: Arc<Handoff>,
     pub(crate) _hangup: HangupGuard,
+    /// N:M mode: this rank runs as a fiber on the worker pool, so grant
+    /// waits park the fiber on the scheduler instead of the OS thread.
+    pub(crate) fiber: bool,
 }
 
 impl std::fmt::Debug for ProcCtx {
@@ -128,7 +138,12 @@ impl ProcCtx {
 
     fn rendezvous(&mut self, req: Request) -> Grant {
         self.handoff.send_request(req);
-        match self.handoff.wait_grant() {
+        let grant = if self.fiber {
+            self.handoff.wait_grant_fiber()
+        } else {
+            self.handoff.wait_grant()
+        };
+        match grant {
             Grant::Abort => std::panic::panic_any(AbortToken),
             grant => grant,
         }

@@ -1,0 +1,241 @@
+//! N:M scheduler differential suite.
+//!
+//! The worker-pool scheduler multiplexes every rank onto `--sim-workers`
+//! OS threads; the legacy mode gives each rank its own thread. Virtual
+//! time must not be able to tell them apart: this suite runs all 11
+//! app/variant combinations on three machines (the paper's full mesh, a
+//! ring-wired WAN, and the hostile storm preset) under the legacy oracle
+//! and under worker pools of 1, 2 and 8 threads, asserting the makespan,
+//! the whole-run kernel accounting and the checksum are bit-identical.
+//!
+//! A second group locks down the scheduler's own observables: runnable-rank
+//! dispatch order is a pure function of the canonical event order (equal at
+//! every worker count and across reruns), a mid-run panic under N:M fails
+//! only the owning rank, and per-rank payload-clone attribution survives
+//! ranks sharing worker threads.
+
+use numagap_apps::{run_app, AppId, AppRun, Scale, SuiteConfig, Variant};
+use numagap_net::{
+    das_spec, CrossTrafficPlan, HeteroPreset, LinkParams, LinkSchedule, Topology, TwoLayerSpec,
+    WanTopology,
+};
+use numagap_rt::Machine;
+use numagap_sim::{Filter, IdealNetwork, ProcId, SchedMode, Sim, SimDuration, Tag};
+
+const CLUSTERS: usize = 4;
+const PROCS_PER_CLUSTER: usize = 8;
+
+/// Worker counts the differential suite probes. 1 serializes everything on
+/// one pool thread, 8 gives every grant a choice of idle workers.
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// All 11 app/variant combinations in Table 1 order.
+fn combos() -> Vec<(AppId, Variant)> {
+    let mut v = Vec::new();
+    for app in AppId::ALL {
+        v.push((app, Variant::Unoptimized));
+        if app.has_optimized() {
+            v.push((app, Variant::Optimized));
+        }
+    }
+    assert_eq!(v.len(), 11);
+    v
+}
+
+/// The hostile-storm machine: slow-home heterogeneous clusters, seeded
+/// cross-traffic and a diurnal WAN schedule — the same shape the golden
+/// makespan suite pins, so a drift here names the scheduler, not the model.
+fn storm_spec() -> TwoLayerSpec {
+    let topo = HeteroPreset::SlowHome.apply(Topology::symmetric(CLUSTERS, PROCS_PER_CLUSTER));
+    TwoLayerSpec::new(topo)
+        .inter(LinkParams::wide_area(10.0, 1.0))
+        .cross_traffic(CrossTrafficPlan::new(7).intensity(0.5))
+        .link_schedule(
+            LinkSchedule::diurnal(7, SimDuration::from_millis(500))
+                .latency_factor(3.0)
+                .bandwidth_factor(0.33),
+        )
+}
+
+/// Everything virtual a run exposes, collapsed for exact comparison.
+fn fingerprint(run: &AppRun) -> (u64, u64, u64, u64, u64, u64) {
+    (
+        run.elapsed.as_nanos(),
+        run.kernel.messages,
+        run.kernel.events,
+        run.kernel.bytes,
+        run.net.inter_msgs,
+        run.checksum.to_bits(),
+    )
+}
+
+fn assert_equivalent_on(name: &str, spec: &TwoLayerSpec) {
+    let cfg = SuiteConfig::at(Scale::Small);
+    for (app, variant) in combos() {
+        let oracle = Machine::new(spec.clone()).with_sched_mode(SchedMode::LegacyThreads);
+        let oracle_run = run_app(app, &cfg, variant, &oracle)
+            .unwrap_or_else(|e| panic!("{app}/{variant} on {name} (legacy): {e}"));
+        for workers in WORKER_COUNTS {
+            let pool =
+                Machine::new(spec.clone()).with_sched_mode(SchedMode::WorkerPool { workers });
+            let pool_run = run_app(app, &cfg, variant, &pool)
+                .unwrap_or_else(|e| panic!("{app}/{variant} on {name} (pool-w{workers}): {e}"));
+            assert_eq!(
+                fingerprint(&oracle_run),
+                fingerprint(&pool_run),
+                "{app}/{variant} on {name}: pool-w{workers} diverged from the 1:1 oracle"
+            );
+        }
+    }
+}
+
+#[test]
+fn nm_matches_legacy_on_the_paper_mesh() {
+    assert_equivalent_on("mesh", &das_spec(CLUSTERS, PROCS_PER_CLUSTER, 10.0, 1.0));
+}
+
+#[test]
+fn nm_matches_legacy_on_a_ring_wan() {
+    let spec = das_spec(CLUSTERS, PROCS_PER_CLUSTER, 10.0, 1.0).wan_topology(WanTopology::Ring);
+    assert_equivalent_on("ring", &spec);
+}
+
+#[test]
+fn nm_matches_legacy_under_the_hostile_storm() {
+    assert_equivalent_on("hostile-storm", &storm_spec());
+}
+
+/// A deterministic multi-rank workload on the raw kernel: a token ring
+/// where every hop recomputes, so ranks park and wake continually.
+fn ring_sim(mode: SchedMode, record: bool) -> Sim<IdealNetwork> {
+    const N: usize = 6;
+    const ROUNDS: u32 = 5;
+    let mut sim = Sim::new(IdealNetwork::new(N, SimDuration::from_micros(20)));
+    sim.sched_mode(mode);
+    if record {
+        sim.record_dispatch();
+    }
+    for me in 0..N {
+        sim.spawn(move |ctx| {
+            let mut token = me as u64;
+            for round in 0..ROUNDS {
+                ctx.compute(SimDuration::from_micros(10 + me as u64));
+                ctx.send(ProcId((me + 1) % N), Tag::app(round), token, 8);
+                let m = ctx.recv(Filter::tag(Tag::app(round)));
+                token = token.wrapping_add(m.expect_clone::<u64>());
+            }
+            token
+        });
+    }
+    sim
+}
+
+/// Satellite invariant: runnable-rank dispatch order (the kernel's grant
+/// sequence) is a pure function of the canonical event order — not of the
+/// scheduler mode, not of the worker count, and not of host scheduling.
+/// (With strict rendezvous at most one rank is runnable per instant, so
+/// the grant sequence *is* the dispatch order.)
+#[test]
+fn dispatch_order_is_a_pure_function_of_the_event_order() {
+    let baseline = ring_sim(SchedMode::LegacyThreads, true)
+        .run()
+        .expect("ring runs");
+    let baseline_log = baseline.dispatch.expect("dispatch recorded");
+    assert!(!baseline_log.is_empty());
+    for workers in WORKER_COUNTS {
+        for rerun in 0..2 {
+            let out = ring_sim(SchedMode::WorkerPool { workers }, true)
+                .run()
+                .expect("ring runs");
+            assert_eq!(out.elapsed, baseline.elapsed, "w={workers} rerun={rerun}");
+            assert_eq!(
+                out.dispatch.expect("dispatch recorded"),
+                baseline_log,
+                "dispatch order moved at w={workers} rerun={rerun}"
+            );
+        }
+    }
+}
+
+/// Dispatch recording is opt-in: the default run leaves the outcome's log
+/// empty so production sweeps pay nothing for it.
+#[test]
+fn dispatch_log_is_absent_unless_requested() {
+    let out = ring_sim(SchedMode::WorkerPool { workers: 2 }, false)
+        .run()
+        .expect("ring runs");
+    assert!(out.dispatch.is_none());
+}
+
+/// Satellite regression: a mid-run panic under N:M must fail only the
+/// owning rank — the panic unwinds the rank's fiber, not the shared worker
+/// thread, so every other rank still finishes and reports its result.
+#[test]
+fn panic_under_nm_fails_only_the_owning_rank() {
+    let mut sim = Sim::new(IdealNetwork::new(4, SimDuration::from_micros(20)));
+    sim.sched_mode(SchedMode::WorkerPool { workers: 2 });
+    for me in 0..4usize {
+        sim.spawn(move |ctx| {
+            ctx.compute(SimDuration::from_micros(10));
+            if me == 2 {
+                panic!("rank 2 exploded mid-run");
+            }
+            ctx.compute(SimDuration::from_micros(10));
+            me as u64
+        });
+    }
+    let out = sim
+        .run()
+        .expect("a rank panic is a per-rank failure, not a kernel error");
+    for (rank, result) in out.results.iter().enumerate() {
+        match result {
+            Ok(v) if rank != 2 => {
+                assert_eq!(*v.downcast_ref::<u64>().expect("u64 result"), rank as u64);
+            }
+            Err(failure) if rank == 2 => {
+                assert_eq!(failure.rank, 2);
+                assert!(
+                    failure.message.contains("rank 2 exploded"),
+                    "diagnostic lost: {}",
+                    failure.message
+                );
+            }
+            other => panic!("rank {rank}: unexpected outcome {other:?}"),
+        }
+    }
+}
+
+/// Satellite regression: `HotProfile::bytes_cloned` is charged to the run
+/// (through each rank's context) even when ranks share a worker thread, and
+/// is identical across scheduler modes — the counter travels with the rank,
+/// not with the OS thread.
+#[test]
+fn clone_accounting_survives_rank_multiplexing() {
+    let run = |mode: SchedMode| {
+        let mut sim = Sim::new(IdealNetwork::new(3, SimDuration::from_micros(20)));
+        sim.sched_mode(mode);
+        sim.spawn(|ctx| {
+            // A cloned (non-shared) payload: 4096 wire bytes cloned once
+            // per receive.
+            ctx.send(ProcId(1), Tag::app(0), vec![7u8; 4096], 4096);
+            ctx.send(ProcId(2), Tag::app(0), vec![9u8; 2048], 2048);
+        });
+        for _ in 1..3 {
+            sim.spawn(|ctx| {
+                let m = ctx.recv(Filter::tag(Tag::app(0)));
+                m.expect_clone::<Vec<u8>>().len() as u64
+            });
+        }
+        let out = sim.run().expect("clone workload runs");
+        out.profile.bytes_cloned
+    };
+    let legacy = run(SchedMode::LegacyThreads);
+    assert!(legacy > 0, "workload clones payload bytes");
+    for workers in WORKER_COUNTS {
+        assert_eq!(
+            run(SchedMode::WorkerPool { workers }),
+            legacy,
+            "bytes_cloned drifted at w={workers}"
+        );
+    }
+}
